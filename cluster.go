@@ -1,0 +1,255 @@
+package ivy
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/proc"
+	"repro/internal/remop"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Cluster is a simulated loosely-coupled multiprocessor running IVY: a
+// token ring of nodes, each with a CPU, physical frames, a paging disk,
+// a shared-virtual-memory instance, a process manager, and an allocator
+// attachment. Create one with New, then call Run exactly once.
+type Cluster struct {
+	cfg     Config
+	eng     *sim.Engine
+	nw      *ring.Network
+	svms    []*core.SVM
+	sts     []*stats.Node
+	allocs  []*alloc.Service
+	procs   *proc.Cluster
+	elapsed sim.Time
+	ran     bool
+}
+
+// New assembles a cluster from cfg.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	if cfg.Processors < 1 || cfg.Processors > 64 {
+		panic(fmt.Sprintf("ivy: %d processors out of range [1,64]", cfg.Processors))
+	}
+	eng := sim.New(cfg.Seed)
+	nw := ring.New(eng, *cfg.Costs, cfg.Processors)
+	if cfg.LossProbability > 0 {
+		nw.SetLossProbability(cfg.LossProbability)
+	}
+	c := &Cluster{cfg: cfg, eng: eng, nw: nw}
+
+	// Late-bound load functions: the proc layer is built after the
+	// endpoints that need its hints.
+	nodes := make([]*proc.Node, cfg.Processors)
+	for i := 0; i < cfg.Processors; i++ {
+		i := i
+		cpu := sim.NewResource(eng, fmt.Sprintf("cpu%d", i), 1)
+		loadFn := func() uint8 {
+			if nodes[i] == nil {
+				return 0
+			}
+			return nodes[i].LoadHint()
+		}
+		ep := remop.NewEndpoint(eng, nw, ring.NodeID(i), cpu, *cfg.Costs, loadFn)
+		st := &stats.Node{}
+		svm := core.New(eng, ep, cpu, core.Config{
+			Node:                  ring.NodeID(i),
+			PageSize:              cfg.PageSize,
+			NumPages:              cfg.SharedPages,
+			MemPages:              cfg.MemoryPages,
+			DefaultOwner:          0,
+			Algorithm:             cfg.Algorithm,
+			Costs:                 *cfg.Costs,
+			BroadcastInvalidation: cfg.BroadcastInvalidation,
+		}, st)
+		c.svms = append(c.svms, svm)
+		c.sts = append(c.sts, st)
+		c.allocs = append(c.allocs, alloc.New(ep, alloc.Config{
+			Central:   0,
+			Base:      svm.Base(),
+			Size:      uint64(cfg.SharedPages) * uint64(cfg.PageSize),
+			PageSize:  cfg.PageSize,
+			TwoLevel:  cfg.TwoLevelAlloc,
+			ChunkSize: cfg.ChunkBytes,
+		}))
+	}
+	c.procs = proc.NewCluster(eng, c.svms, *cfg.Balance)
+	for i := 0; i < cfg.Processors; i++ {
+		nodes[i] = c.procs.Node(i)
+	}
+	return c
+}
+
+// Processors returns the cluster size.
+func (c *Cluster) Processors() int { return c.cfg.Processors }
+
+// PageSize returns the configured page size.
+func (c *Cluster) PageSize() int { return c.cfg.PageSize }
+
+// Base returns the first shared address.
+func (c *Cluster) Base() uint64 { return c.svms[0].Base() }
+
+// ErrHorizon reports a Run that hit its virtual-time bound.
+var ErrHorizon = errors.New("ivy: program did not finish within the run horizon (deadlock or runaway loop)")
+
+// Run creates the main process on node 0 (the processor "with which the
+// user directly contacts"), runs the simulation until it terminates, and
+// records the elapsed virtual time. Run may be called once.
+func (c *Cluster) Run(main func(p *Proc)) error {
+	if c.ran {
+		panic("ivy: Run called twice on one cluster")
+	}
+	c.ran = true
+	mp := c.procs.Node(0).Create(func(inner *proc.Process) {
+		main(&Proc{inner: inner, c: c})
+	}, proc.CreateOpts{Name: "main", Migratable: false})
+	finished := false
+	c.eng.Go("run-watcher", func(f *sim.Fiber) {
+		mp.Join(f)
+		c.elapsed = c.eng.Now()
+		finished = true
+		c.procs.Stop()
+		c.eng.Stop()
+	})
+	if err := c.eng.RunUntil(sim.Time(c.cfg.Horizon)); err != nil {
+		return err
+	}
+	if !finished {
+		return fmt.Errorf("%w: parked fibers: %v; held page locks: %v",
+			ErrHorizon, c.eng.Parked(), c.heldPageLocks())
+	}
+	return nil
+}
+
+// heldPageLocks lists page fault locks still held across the cluster
+// with their holders — the first thing to look at in a hang report.
+func (c *Cluster) heldPageLocks() []string {
+	var out []string
+	for n, svm := range c.svms {
+		t := svm.Table()
+		for p := 0; p < svm.NumPages(); p++ {
+			pg := mmu.PageID(p)
+			if t.Locked(pg) {
+				out = append(out, fmt.Sprintf("node%d/page%d by %q", n, p, t.LockHolder(pg)))
+			}
+		}
+	}
+	return out
+}
+
+// Elapsed returns the virtual time the program took — the quantity the
+// paper's speedup curves are built from.
+func (c *Cluster) Elapsed() time.Duration { return c.elapsed.Duration() }
+
+// Now returns the current virtual time (usable mid-run from processes).
+func (c *Cluster) Now() time.Duration { return c.eng.Now().Duration() }
+
+// Snapshot collects a cluster-wide statistics snapshot. It may be taken
+// mid-run (from inside a process) or after Run returns; two snapshots
+// subtract to interval deltas.
+func (c *Cluster) Snapshot() ClusterStats {
+	out := ClusterStats{Nodes: make([]NodeStats, len(c.svms))}
+	for i, svm := range c.svms {
+		n := *c.sts[i]
+		n.DiskReads = svm.Disk().Reads()
+		n.DiskWrites = svm.Disk().Writes()
+		n.Evictions = svm.Pool().Evictions()
+		out.Nodes[i] = n
+		eps := svm.Endpoint().Stats()
+		out.Forwards += eps.Forwards
+		out.Retransmissions += eps.Retransmissions
+		out.Broadcasts += eps.Broadcasts
+	}
+	ns := c.nw.Stats()
+	out.Packets = ns.Packets
+	out.NetBytes = ns.Bytes
+	out.WireBusy = ns.WireBusy
+	return out
+}
+
+// PageEvent re-exports the coherence transition record for tracing.
+type PageEvent = core.PageEvent
+
+// SetPageTrace reports every coherence transition of the page containing
+// addr on every node to fn — the fastest way to watch a page's life
+// cycle (replication, invalidation, ownership movement). Install before
+// Run; fn runs in engine context and must not block.
+func (c *Cluster) SetPageTrace(addr uint64, fn func(PageEvent)) {
+	p := c.svms[0].PageOf(addr)
+	for _, svm := range c.svms {
+		svm.SetPageTracer(p, false, fn)
+	}
+}
+
+// SetAllPagesTrace traces every page's transitions (verbose).
+func (c *Cluster) SetAllPagesTrace(fn func(PageEvent)) {
+	for _, svm := range c.svms {
+		svm.SetPageTracer(0, true, fn)
+	}
+}
+
+// Latencies returns a merged cluster-wide view of the fault-service
+// histograms — the microbenchmark numbers (end-to-end read-fault time
+// and so on) the original work reported.
+func (c *Cluster) Latencies() stats.Latency {
+	var out stats.Latency
+	for _, svm := range c.svms {
+		out.Merge(*svm.Latency())
+	}
+	return out
+}
+
+// NodeUtilization returns each node's CPU utilization over the run.
+func (c *Cluster) NodeUtilization() []float64 {
+	out := make([]float64, len(c.svms))
+	for i, svm := range c.svms {
+		out[i] = svm.CPU().Utilization()
+	}
+	return out
+}
+
+// MessageEvent describes one delivered message, for tracing.
+type MessageEvent struct {
+	Time    time.Duration
+	Node    int // receiving node
+	Kind    string
+	Origin  int
+	Sender  int
+	Request bool
+	Reply   bool
+}
+
+// SetMessageTrace installs fn as a tap on every node's message delivery.
+// Call before Run. The callback runs for each delivered envelope —
+// tracing is verbose by design; cmd/ivytrace caps the output.
+func (c *Cluster) SetMessageTrace(fn func(MessageEvent)) {
+	for i, svm := range c.svms {
+		i := i
+		svm.Endpoint().SetDeliverHook(func(env *wire.Envelope) {
+			fn(MessageEvent{
+				Time:    c.eng.Now().Duration(),
+				Node:    i,
+				Kind:    env.Body.Kind().String(),
+				Origin:  int(env.Origin),
+				Sender:  int(env.Sender),
+				Request: env.IsRequest(),
+				Reply:   env.IsReply(),
+			})
+		})
+	}
+}
+
+// VerifyCoherence checks the shared virtual memory's protocol invariants
+// (single owner per page, single writer, registered readers, sane
+// probOwner hints, no stuck fault locks). Call after Run, or from a
+// quiescent point inside one; a non-empty result is a protocol bug.
+func (c *Cluster) VerifyCoherence() []error {
+	return core.VerifyCoherence(c.svms)
+}

@@ -1,0 +1,173 @@
+// Command ivybench regenerates every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out, printing each as a
+// text table (and an ASCII speedup chart for the figures).
+//
+// Usage:
+//
+//	ivybench [-exp all|fig4|fig5|fig6|table1|managers|pagesize|alloc|migration] [-maxprocs N]
+//
+// All experiments are deterministic; see EXPERIMENTS.md for the recorded
+// outputs and the comparison against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, table1, managers, pagesize, alloc, migration, sensitivity, latency, sysmode")
+	maxProcs := flag.Int("maxprocs", 8, "largest processor count in sweeps (1..64)")
+	seed := flag.Int64("seed", 1, "simulation seed (results are deterministic per seed)")
+	flag.Parse()
+	harness.SetSeed(*seed)
+
+	if *maxProcs < 1 || *maxProcs > 64 {
+		fmt.Fprintln(os.Stderr, "ivybench: -maxprocs must be in 1..64")
+		os.Exit(2)
+	}
+	procs := make([]int, *maxProcs)
+	for i := range procs {
+		procs[i] = i + 1
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "ivybench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s regenerated in %v wall time)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig5", func() error {
+		fmt.Println("=== Figure 5: speedups of the benchmark programs ===")
+		curves, err := harness.Figure5(procs)
+		if err != nil {
+			return err
+		}
+		for _, c := range curves {
+			harness.RenderCurve(os.Stdout, c)
+		}
+		return nil
+	})
+
+	run("fig4", func() error {
+		fmt.Println("=== Figure 4: super-linear speedup (3-D PDE under memory pressure) ===")
+		c, err := harness.Figure4(procs)
+		if err != nil {
+			return err
+		}
+		harness.RenderCurve(os.Stdout, c)
+		return nil
+	})
+
+	run("table1", func() error {
+		fmt.Println("=== Table 1: disk page transfers of each iteration ===")
+		t, err := harness.RunTable1()
+		if err != nil {
+			return err
+		}
+		harness.RenderTable1(os.Stdout, t)
+		return nil
+	})
+
+	run("fig6", func() error {
+		fmt.Println("=== Figure 6: speedup of merge-split sort ===")
+		curves, err := harness.Figure6(procs)
+		if err != nil {
+			return err
+		}
+		for _, c := range curves {
+			harness.RenderCurve(os.Stdout, c)
+		}
+		return nil
+	})
+
+	run("managers", func() error {
+		fmt.Println("=== Ablation: coherence manager algorithms ===")
+		rows, err := harness.AblationManagers(min(*maxProcs, 8))
+		if err != nil {
+			return err
+		}
+		harness.RenderManagers(os.Stdout, rows)
+		return nil
+	})
+
+	run("pagesize", func() error {
+		fmt.Println("=== Ablation: page size ===")
+		p := min(*maxProcs, 8)
+		rows, err := harness.AblationPageSize(p, []int{256, 512, 1024, 2048, 4096})
+		if err != nil {
+			return err
+		}
+		harness.RenderPageSize(os.Stdout, p, rows)
+		return nil
+	})
+
+	run("alloc", func() error {
+		fmt.Println("=== Ablation: centralized vs two-level allocation ===")
+		rows, err := harness.AblationAlloc(min(*maxProcs, 8), 200)
+		if err != nil {
+			return err
+		}
+		harness.RenderAlloc(os.Stdout, rows)
+		return nil
+	})
+
+	run("sensitivity", func() error {
+		fmt.Println("=== Ablation: cost-model sensitivity ===")
+		rows, err := harness.AblationSensitivity()
+		if err != nil {
+			return err
+		}
+		harness.RenderSensitivity(os.Stdout, rows)
+		return nil
+	})
+
+	run("sysmode", func() error {
+		fmt.Println("=== Projection: user-mode vs system-mode implementation ===")
+		procsN := min(*maxProcs, 8)
+		rows, err := harness.AblationSystemMode(procsN)
+		if err != nil {
+			return err
+		}
+		harness.RenderSystemMode(os.Stdout, procsN, rows)
+		return nil
+	})
+
+	run("latency", func() error {
+		fmt.Println("=== Fault-service latency distributions ===")
+		procsN := min(*maxProcs, 8)
+		rows, err := harness.LatencyBreakdown(procsN)
+		if err != nil {
+			return err
+		}
+		harness.RenderLatency(os.Stdout, procsN, rows)
+		return nil
+	})
+
+	run("migration", func() error {
+		fmt.Println("=== Ablation: passive load balancing ===")
+		rows, err := harness.AblationMigration(min(*maxProcs, 8), 16, 2*time.Second)
+		if err != nil {
+			return err
+		}
+		harness.RenderMigration(os.Stdout, rows)
+		return nil
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+// Command ivytrace runs a small shared-memory workload with a message
+// trace attached, printing every protocol message the cluster exchanges:
+// fault requests chasing probOwner chains, page replies, invalidations
+// and their acks, eventcount notifications, migrations, and the
+// allocator's traffic. It is the fastest way to see the coherence
+// protocol at work.
+//
+// Usage:
+//
+//	ivytrace [-procs N] [-limit N] [-scenario sharing|migration|pressure]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ivy "repro"
+)
+
+func main() {
+	procs := flag.Int("procs", 3, "processors")
+	limit := flag.Int("limit", 200, "maximum messages to print (0 = unlimited)")
+	scenario := flag.String("scenario", "sharing", "workload: sharing, migration, pressure")
+	pages := flag.Bool("pages", false, "also print per-page coherence transitions")
+	flag.Parse()
+
+	cfg := ivy.Config{Processors: *procs, Seed: 1}
+	if *scenario == "pressure" {
+		cfg.MemoryPages = 8
+		cfg.SharedPages = 256
+	}
+	cluster := ivy.New(cfg)
+
+	printed := 0
+	cluster.SetMessageTrace(func(ev ivy.MessageEvent) {
+		if *limit > 0 && printed >= *limit {
+			return
+		}
+		printed++
+		dir := "???"
+		switch {
+		case ev.Request:
+			dir = "req"
+		case ev.Reply:
+			dir = "rep"
+		default:
+			dir = "bcast"
+		}
+		fmt.Printf("%-14v node%-2d <- node%-2d  %-5s %-16s (origin %d)\n",
+			ev.Time.Round(time.Microsecond), ev.Node, ev.Sender, dir, ev.Kind, ev.Origin)
+	})
+
+	if *pages {
+		cluster.SetAllPagesTrace(func(ev ivy.PageEvent) {
+			if *limit > 0 && printed >= *limit {
+				return
+			}
+			printed++
+			fmt.Println(ev)
+		})
+	}
+
+	var body func(p *ivy.Proc)
+	switch *scenario {
+	case "sharing":
+		body = sharingScenario
+	case "migration":
+		body = migrationScenario
+	case "pressure":
+		body = pressureScenario
+	default:
+		fmt.Fprintf(os.Stderr, "ivytrace: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	if err := cluster.Run(body); err != nil {
+		fmt.Fprintf(os.Stderr, "ivytrace: %v\n", err)
+		os.Exit(1)
+	}
+	s := cluster.Snapshot()
+	fmt.Printf("\n%d messages shown; %d packets total, %d forwards, virtual time %v\n",
+		printed, s.Packets, s.Forwards, cluster.Elapsed().Round(time.Microsecond))
+}
+
+// sharingScenario makes a page migrate for writing, replicate for
+// reading, and get invalidated again — the full coherence life cycle.
+func sharingScenario(p *ivy.Proc) {
+	n := p.Cluster().Processors()
+	addr := p.MustMalloc(1024)
+	done := p.NewEventcount(n + 1)
+	p.WriteU64(addr, 100)
+	for i := 0; i < n; i++ {
+		i := i
+		p.CreateOn(i, func(q *ivy.Proc) {
+			v := q.ReadU64(addr)    // read fault: page replicates here
+			q.WriteU64(addr+8, v+1) // write fault: ownership moves here
+			_ = q.ReadU64(addr + 8) // local after the write
+			done.Advance(q)
+		}, ivy.WithName(fmt.Sprintf("sharer%d", i)))
+	}
+	done.Wait(p, int64(n))
+}
+
+// migrationScenario shows a process migrating itself and its stack.
+func migrationScenario(p *ivy.Proc) {
+	n := p.Cluster().Processors()
+	done := p.NewEventcount(4)
+	p.Create(func(q *ivy.Proc) {
+		for i := 1; i < n; i++ {
+			q.Migrate(i)
+		}
+		done.Advance(q)
+	}, ivy.WithName("wanderer"))
+	done.Wait(p, 1)
+}
+
+// pressureScenario overflows the tiny frame pool so evictions and disk
+// paging appear in the trace's fault service times.
+func pressureScenario(p *ivy.Proc) {
+	addr := p.MustMalloc(32 * 1024) // 32 pages >> 8 frames
+	for pass := 0; pass < 2; pass++ {
+		for pg := 0; pg < 32; pg++ {
+			a := addr + uint64(pg*1024)
+			p.WriteU64(a, p.ReadU64(a)+1)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package ivy
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/proc"
+	"repro/internal/stats"
+)
+
+// Algorithm selects the memory-coherence manager; see the constants.
+type Algorithm = core.Algorithm
+
+// Manager algorithms, re-exported from the coherence core.
+const (
+	// DynamicDistributed is the probOwner-hint algorithm the paper finds
+	// most appropriate; it is the default.
+	DynamicDistributed = core.DynamicDistributed
+	// ImprovedCentralized keeps ownership information on one manager.
+	ImprovedCentralized = core.ImprovedCentralized
+	// FixedDistributed statically partitions manager duty (H(p) = p mod N).
+	FixedDistributed = core.FixedDistributed
+	// BroadcastManager locates owners by broadcast (ablation).
+	BroadcastManager = core.BroadcastManager
+	// BasicCentralized is the unimproved centralized manager from the
+	// companion TOCS paper (copyset and invalidation at the manager) —
+	// the baseline that makes "improved" measurable.
+	BasicCentralized = core.BasicCentralized
+)
+
+// Costs is the virtual-time cost model; see internal/model for the
+// calibration rationale.
+type Costs = model.Costs
+
+// Default1988 is the calibration used for the headline experiments.
+func Default1988() Costs { return model.Default1988() }
+
+// FreeNetwork zeroes communication costs (used by Figure 6's argument
+// that merge-split sort is sub-linear even with free communication).
+func FreeNetwork() Costs { return model.FreeNetwork() }
+
+// SystemMode1988 is the paper's projected in-kernel implementation:
+// remote operations and page moving roughly twice as fast.
+func SystemMode1988() Costs { return model.SystemMode1988() }
+
+// Balance tunes passive load balancing; see internal/proc.
+type Balance = proc.BalanceConfig
+
+// DefaultBalance is the balancing configuration used by the experiments.
+func DefaultBalance() Balance { return proc.DefaultBalance() }
+
+// NodeStats is one node's counter block.
+type NodeStats = stats.Node
+
+// ClusterStats is a cluster-wide snapshot; snapshots subtract to give
+// interval deltas (Table 1 works this way).
+type ClusterStats = stats.Cluster
+
+// Latency carries the fault-service histograms (read fault, write
+// fault, upgrade) merged across nodes.
+type Latency = stats.Latency
+
+// Config assembles a cluster. The zero value of every field has a
+// sensible default applied by New.
+type Config struct {
+	// Processors is the cluster size (default 1, max 64).
+	Processors int
+
+	// PageSize in bytes; the prototype used 1 KB (the default).
+	PageSize int
+
+	// SharedPages sizes the shared virtual address space (default 16384
+	// pages = 16 MB at the default page size).
+	SharedPages int
+
+	// MemoryPages caps each node's physical frames; 0 means
+	// unconstrained. The memory-pressure experiments set this.
+	MemoryPages int
+
+	// Algorithm selects the coherence manager (default
+	// DynamicDistributed).
+	Algorithm Algorithm
+
+	// Costs calibrates virtual time (default Default1988).
+	Costs *Costs
+
+	// Balance configures passive load balancing (default
+	// DefaultBalance). Set Balance.Enabled = false for manual
+	// scheduling only.
+	Balance *Balance
+
+	// StackPages is the simulated stack region per process (default 4
+	// pages; 0 disables stack regions).
+	StackPages int
+
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed int64
+
+	// LossProbability injects per-delivery packet loss (default 0),
+	// exercising the retransmission protocol.
+	LossProbability float64
+
+	// BroadcastInvalidation switches write-fault invalidation to the
+	// broadcast reply-from-all scheme.
+	BroadcastInvalidation bool
+
+	// TwoLevelAlloc enables the two-level memory allocation scheme the
+	// paper proposes; ChunkBytes sets the local chunk size (default
+	// 64 KB).
+	TwoLevelAlloc bool
+	ChunkBytes    uint64
+
+	// Horizon bounds a Run in virtual time (default 1000 hours); hitting
+	// it makes Run fail, which is how runaway programs surface.
+	Horizon time.Duration
+}
+
+// withDefaults fills unset fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.Processors == 0 {
+		cfg.Processors = 1
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 1024
+	}
+	if cfg.SharedPages == 0 {
+		cfg.SharedPages = 16384
+	}
+	if cfg.Costs == nil {
+		c := model.Default1988()
+		cfg.Costs = &c
+	}
+	if cfg.Balance == nil {
+		b := proc.DefaultBalance()
+		cfg.Balance = &b
+	}
+	if cfg.StackPages == 0 {
+		cfg.StackPages = 4
+	}
+	if cfg.ChunkBytes == 0 {
+		cfg.ChunkBytes = 64 * 1024
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 1000 * time.Hour
+	}
+	return cfg
+}

@@ -1,0 +1,42 @@
+// Package ivy is a reproduction of IVY, the shared virtual memory system
+// of Kai Li's ICPP 1988 paper "IVY: A Shared Virtual Memory System for
+// Parallel Computing".
+//
+// IVY provides a single paged address space shared by every processor of
+// a loosely-coupled multiprocessor, kept coherent with an invalidation
+// protocol under one of several ownership-manager algorithms (improved
+// centralized, fixed distributed, dynamic distributed with probOwner
+// hints, and a broadcast manager). On top of the memory it provides
+// lightweight processes with migration and passive load balancing,
+// eventcount synchronization, and a page-aligned shared-memory
+// allocator.
+//
+// Because the Go runtime owns SIGSEGV, the hardware cluster is replaced
+// by a deterministic discrete-event simulation: every node has a virtual
+// clock, page frames with LRU replacement, a paging disk, and a software
+// MMU checked on every access; the interconnect is a modelled 12 Mbit/s
+// token ring. Virtual time stands in for the paper's wall-clock
+// measurements — see DESIGN.md for the substitution argument and
+// EXPERIMENTS.md for the paper-vs-measured results.
+//
+// # Quick start
+//
+//	cluster := ivy.New(ivy.Config{Processors: 4})
+//	err := cluster.Run(func(p *ivy.Proc) {
+//	    addr, _ := p.Malloc(8 * 1024)
+//	    done := p.NewEventcount(8)
+//	    for i := 0; i < 4; i++ {
+//	        i := i
+//	        p.CreateOn(i, func(q *ivy.Proc) {
+//	            q.WriteF64(addr+uint64(8*i), float64(i)) // shared memory
+//	            done.Advance(q)
+//	        })
+//	    }
+//	    done.Wait(p, 4)
+//	})
+//
+// Every process sees the same address space; pages migrate between nodes
+// on demand, and the cluster's virtual clock (Cluster.Elapsed) reflects
+// the calibrated cost of every reference, fault, message, and disk
+// transfer along the way.
+package ivy

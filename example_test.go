@@ -1,0 +1,117 @@
+package ivy_test
+
+import (
+	"fmt"
+
+	ivy "repro"
+)
+
+// The basic pattern: allocate shared memory, spawn one process per
+// processor, synchronize with an eventcount, read the results.
+func ExampleCluster_Run() {
+	cluster := ivy.New(ivy.Config{Processors: 4, Seed: 1})
+	err := cluster.Run(func(p *ivy.Proc) {
+		data := p.MustMalloc(8 * 4)
+		done := p.NewEventcount(8)
+		for i := 0; i < 4; i++ {
+			i := i
+			p.CreateOn(i, func(q *ivy.Proc) {
+				q.WriteU64(data+uint64(8*i), uint64(i*i))
+				done.Advance(q)
+			})
+		}
+		done.Wait(p, 4)
+		sum := uint64(0)
+		for i := 0; i < 4; i++ {
+			sum += p.ReadU64(data + uint64(8*i))
+		}
+		fmt.Println("sum:", sum)
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: sum: 14
+}
+
+// Eventcounts coordinate processes across nodes: workers advance, the
+// main process waits for the count to arrive.
+func ExampleEC() {
+	cluster := ivy.New(ivy.Config{Processors: 2, Seed: 1})
+	_ = cluster.Run(func(p *ivy.Proc) {
+		ec := p.NewEventcount(8)
+		p.CreateOn(1, func(q *ivy.Proc) {
+			rec := q.AttachEventcount(ec.Addr(), 8)
+			rec.Advance(q)
+			rec.Advance(q)
+		})
+		ec.Wait(p, 2)
+		fmt.Println("count:", ec.Read(p))
+	})
+	// Output: count: 2
+}
+
+// A test-and-set lock protects a read-modify-write that crosses nodes.
+func ExampleLock() {
+	cluster := ivy.New(ivy.Config{Processors: 2, Seed: 1})
+	_ = cluster.Run(func(p *ivy.Proc) {
+		counter := p.MustMalloc(8)
+		lock := p.NewLock()
+		done := p.NewEventcount(4)
+		for i := 0; i < 2; i++ {
+			i := i
+			p.CreateOn(i, func(q *ivy.Proc) {
+				for k := 0; k < 3; k++ {
+					lock.Acquire(q)
+					q.WriteU64(counter, q.ReadU64(counter)+1)
+					lock.Release(q)
+				}
+				done.Advance(q)
+			})
+		}
+		done.Wait(p, 2)
+		fmt.Println("counter:", p.ReadU64(counter))
+	})
+	// Output: counter: 6
+}
+
+// A process can migrate itself; its shared-memory view is unchanged and
+// its subsequent work bills the new node.
+func ExampleProc_Migrate() {
+	cluster := ivy.New(ivy.Config{Processors: 2, Seed: 1})
+	_ = cluster.Run(func(p *ivy.Proc) {
+		done := p.NewEventcount(4)
+		p.Create(func(q *ivy.Proc) {
+			before := q.NodeID()
+			q.Migrate(1)
+			fmt.Printf("moved from node %d to node %d\n", before, q.NodeID())
+			done.Advance(q)
+		})
+		done.Wait(p, 1)
+	})
+	// Output: moved from node 0 to node 1
+}
+
+// A sequencer plus an eventcount is Reed & Kanodia's ordered mutual
+// exclusion: take a ticket, await your turn, advance when done.
+func ExampleSequencer() {
+	cluster := ivy.New(ivy.Config{Processors: 2, Seed: 1})
+	_ = cluster.Run(func(p *ivy.Proc) {
+		seq := p.NewSequencer()
+		turn := p.NewEventcount(8)
+		done := p.NewEventcount(4)
+		for i := 0; i < 2; i++ {
+			i := i
+			p.CreateOn(i, func(q *ivy.Proc) {
+				t := seq.Ticket(q)
+				turn.Wait(q, t)
+				fmt.Println("ticket", t)
+				turn.Advance(q)
+				done.Advance(q)
+			})
+		}
+		done.Wait(p, 2)
+	})
+	// Output:
+	// ticket 0
+	// ticket 1
+}

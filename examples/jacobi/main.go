@@ -1,0 +1,46 @@
+// Jacobi linear equation solver across a processor sweep — the paper's
+// first benchmark program, scaled down to run in a second. Prints the
+// speedup series, showing the near-linear behavior shared virtual memory
+// gives compute-bound iterative solvers.
+//
+//	go run ./examples/jacobi [-n 256] [-iters 24] [-maxprocs 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	ivy "repro"
+	"repro/internal/apps"
+)
+
+func main() {
+	n := flag.Int("n", 512, "matrix dimension (512/procs doubles should fill whole pages)")
+	iters := flag.Int("iters", 16, "Jacobi iterations")
+	maxProcs := flag.Int("maxprocs", 4, "sweep processors 1..N")
+	flag.Parse()
+
+	par := apps.JacobiParams{N: *n, Iters: *iters, Seed: 7}
+	fmt.Printf("solving a %dx%d system, %d iterations\n\n", *n, *n, *iters)
+	fmt.Printf("%-6s %-14s %-8s %-12s\n", "procs", "virtual time", "speedup", "page faults")
+
+	var t1 time.Duration
+	for procs := 1; procs <= *maxProcs; procs++ {
+		res, err := apps.RunJacobi(ivy.Config{Processors: procs, Seed: 1}, par)
+		if err != nil {
+			log.Fatalf("procs=%d: %v", procs, err)
+		}
+		if procs == 1 {
+			t1 = res.Elapsed
+		}
+		fmt.Printf("%-6d %-14s %-8.2f %-12d\n",
+			procs, res.Elapsed.Round(time.Millisecond),
+			float64(t1)/float64(res.Elapsed), res.Stats.Total().Faults())
+	}
+	fmt.Println("\n(each iteration the solution vector's pages replicate read-only,")
+	fmt.Println(" then each worker's writes invalidate the copies — the paper's")
+	fmt.Println(" invalidation approach. Try -n 128: slices smaller than a page")
+	fmt.Println(" false-share and the speedup collapses — page granularity matters)")
+}

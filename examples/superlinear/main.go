@@ -1,0 +1,59 @@
+// Super-linear speedup — the paper's Figure 4 phenomenon, live.
+//
+// The 3-D PDE solver's data exceeds one node's physical memory, so the
+// one-processor run pages against its disk on every sweep. Adding a
+// second processor doubles the cluster's combined memory: the data
+// distributes through ordinary shared-virtual-memory page faults, the
+// disk traffic collapses, and the speedup exceeds the processor count —
+// "the shared virtual memory can effectively exploit not only the
+// available processors but also the combined physical memories".
+//
+//	go run ./examples/superlinear
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	ivy "repro"
+	"repro/internal/apps"
+)
+
+func main() {
+	// Three N=24 float32 arrays occupy ~165 pages; 110 frames per node
+	// means one node thrashes while two nodes' combined 220 frames hold
+	// everything.
+	par := apps.PDE3DParams{N: 24, Iters: 6, Seed: 11}
+	const frames = 110
+
+	fmt.Println("3-D PDE solver, data larger than one node's memory")
+	fmt.Printf("%-6s %-14s %-8s %-14s\n", "procs", "virtual time", "speedup", "disk transfers")
+
+	var t1 time.Duration
+	for procs := 1; procs <= 3; procs++ {
+		res, err := apps.RunPDE3D(ivy.Config{
+			Processors:  procs,
+			MemoryPages: frames,
+			SharedPages: 1024,
+			Seed:        1,
+		}, par)
+		if err != nil {
+			log.Fatalf("procs=%d: %v", procs, err)
+		}
+		if procs == 1 {
+			t1 = res.Elapsed
+		}
+		speedup := float64(t1) / float64(res.Elapsed)
+		marker := ""
+		if speedup > float64(procs) {
+			marker = "  <- super-linear"
+		}
+		fmt.Printf("%-6d %-14s %-8.2f %-14d%s\n",
+			procs, res.Elapsed.Round(time.Millisecond), speedup,
+			res.Stats.Total().DiskTransfers(), marker)
+	}
+	fmt.Println("\nThe \"fundamental law\" assumes every processor has infinite")
+	fmt.Println("memory; with real memories, distributing the data eliminates")
+	fmt.Println("the paging that dominates the one-processor run.")
+}

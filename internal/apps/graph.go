@@ -1,0 +1,181 @@
+package apps
+
+import "math"
+
+// This file is the graph substrate the TSP benchmark needs: symmetric
+// weighted graphs, Prim's minimum spanning tree, the 1-tree lower bound
+// of Held & Karp (the bound the paper's branch-and-bound uses), and a
+// brute-force tour solver used as the correctness oracle in tests.
+
+// DistMatrix is a symmetric n x n weight matrix in local memory — the
+// reference-side twin of the shared copy the benchmark reads through the
+// SVM.
+type DistMatrix struct {
+	N int
+	W []float64
+}
+
+// NewRandomGraph builds a complete graph with deterministic random
+// weights in [1, 100).
+func NewRandomGraph(n int, seed uint64) *DistMatrix {
+	rng := newXorshift(seed)
+	m := &DistMatrix{N: n, W: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := 1 + 99*rng.nextFloat()
+			m.W[i*n+j] = w
+			m.W[j*n+i] = w
+		}
+	}
+	return m
+}
+
+// At returns the weight of edge (i, j).
+func (m *DistMatrix) At(i, j int) float64 { return m.W[i*m.N+j] }
+
+// WeightFn abstracts edge lookup so the same algorithms run over local
+// matrices (reference) and shared-memory matrices (benchmark).
+type WeightFn func(i, j int) float64
+
+// MSTCost returns the cost of a minimum spanning tree over the given
+// vertices (Prim's algorithm, O(v^2) with the dense representation the
+// era used).
+func MSTCost(vertices []int, w WeightFn) float64 {
+	v := len(vertices)
+	if v <= 1 {
+		return 0
+	}
+	const inf = math.MaxFloat64
+	inTree := make([]bool, v)
+	best := make([]float64, v)
+	for i := range best {
+		best[i] = inf
+	}
+	best[0] = 0
+	total := 0.0
+	for round := 0; round < v; round++ {
+		u := -1
+		for i := 0; i < v; i++ {
+			if !inTree[i] && (u == -1 || best[i] < best[u]) {
+				u = i
+			}
+		}
+		inTree[u] = true
+		total += best[u]
+		for i := 0; i < v; i++ {
+			if !inTree[i] {
+				if c := w(vertices[u], vertices[i]); c < best[i] {
+					best[i] = c
+				}
+			}
+		}
+	}
+	return total
+}
+
+// OneTreeBound returns the 1-tree lower bound for completing a tour:
+// the MST over the unvisited vertices plus the cheapest connections from
+// the partial tour's two endpoints into that set (a simplified version
+// of the bound in the paper's branch-and-bound, adequate for pruning).
+// free must be non-empty.
+func OneTreeBound(tourEnd, tourStart int, free []int, w WeightFn) float64 {
+	bound := MSTCost(free, w)
+	minEnd, minStart := math.MaxFloat64, math.MaxFloat64
+	for _, v := range free {
+		if c := w(tourEnd, v); c < minEnd {
+			minEnd = c
+		}
+		if c := w(v, tourStart); c < minStart {
+			minStart = c
+		}
+	}
+	return bound + minEnd + minStart
+}
+
+// BruteForceTour returns the optimal tour cost over all permutations —
+// the oracle for small instances.
+func BruteForceTour(m *DistMatrix) float64 {
+	n := m.N
+	perm := make([]int, n-1)
+	for i := range perm {
+		perm[i] = i + 1
+	}
+	best := math.MaxFloat64
+	var rec func(k int, cost float64, last int)
+	rec = func(k int, cost float64, last int) {
+		if cost >= best {
+			return
+		}
+		if k == len(perm) {
+			if total := cost + m.At(last, 0); total < best {
+				best = total
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k+1, cost+m.At(last, perm[k]), perm[k])
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+// NearestNeighborTour returns the cost of the greedy nearest-neighbour
+// tour from city 0 — the initial upper bound both the sequential and the
+// parallel branch-and-bound start from. Without an initial bound the
+// parallel search is at the mercy of exploration order: workers that
+// start in poor subtrees prune nothing until someone finds a full tour,
+// and the tree size explodes with the worker count (a detrimental
+// branch-and-bound anomaly).
+func NearestNeighborTour(m *DistMatrix) float64 {
+	n := m.N
+	visited := make([]bool, n)
+	visited[0] = true
+	cur, cost := 0, 0.0
+	for step := 1; step < n; step++ {
+		best, bestW := -1, math.MaxFloat64
+		for v := 1; v < n; v++ {
+			if !visited[v] && m.At(cur, v) < bestW {
+				best, bestW = v, m.At(cur, v)
+			}
+		}
+		visited[best] = true
+		cost += bestW
+		cur = best
+	}
+	return cost + m.At(cur, 0)
+}
+
+// SequentialBranchAndBound solves the TSP with the same bound the
+// parallel program uses — the single-processor reference.
+func SequentialBranchAndBound(m *DistMatrix) float64 {
+	upper := NearestNeighborTour(m)
+	var rec func(tour []int, cost float64, free []int)
+	rec = func(tour []int, cost float64, free []int) {
+		last := tour[len(tour)-1]
+		if len(free) == 0 {
+			if total := cost + m.At(last, 0); total < upper {
+				upper = total
+			}
+			return
+		}
+		if cost+OneTreeBound(last, 0, free, m.At) >= upper {
+			return
+		}
+		for i := range free {
+			next := free[i]
+			rest := make([]int, 0, len(free)-1)
+			rest = append(rest, free[:i]...)
+			rest = append(rest, free[i+1:]...)
+			rec(append(tour, next), cost+m.At(last, next), rest)
+		}
+	}
+	free := make([]int, m.N-1)
+	for i := range free {
+		free[i] = i + 1
+	}
+	rec([]int{0}, 0, free)
+	return upper
+}

@@ -1,0 +1,122 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	ivy "repro"
+)
+
+// JacobiParams sizes the linear equation solver.
+type JacobiParams struct {
+	N     int // matrix dimension
+	Iters int // Jacobi iterations
+	Seed  uint64
+}
+
+// DefaultJacobi is the Figure 5 workload. N is chosen so that each of 8
+// processors' slice of x spans near-whole pages:
+// smaller systems false-share the solution vector's pages and the curve
+// collapses — a genuine page-granularity DSM effect worth its own
+// ablation (see the page-size benchmarks).
+func DefaultJacobi() JacobiParams { return JacobiParams{N: 1024, Iters: 12, Seed: 7} }
+
+// RunJacobi solves Ax = b with the parallel Jacobi algorithm: the
+// problem is partitioned by rows of A across one process per processor,
+// all processes synchronize at each iteration through an eventcount, and
+// A, x, and b live in shared virtual memory, accessed "freely without
+// regard to their location".
+func RunJacobi(cfg ivy.Config, par JacobiParams) (Result, error) {
+	cluster := ivy.New(cfg)
+	procs := cluster.Processors()
+	n := par.N
+	var check float64
+	err := cluster.Run(func(p *ivy.Proc) {
+		a := AllocF64(p, n*n)
+		b := AllocF64(p, n)
+		x := AllocF64(p, n)
+		xn := AllocF64(p, n)
+
+		// Initialization on the contact processor, as in the paper's
+		// runs: a diagonally dominant system with a known solution of
+		// all ones, so b_i = sum_j A_ij.
+		rng := newXorshift(par.Seed)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				v := rng.nextFloat()
+				if i == j {
+					v += float64(n) // dominance
+				}
+				a.Write(p, i*n+j, v)
+				rowSum += v
+				p.LocalOps(1)
+			}
+			b.Write(p, i, rowSum)
+			x.Write(p, i, 0)
+			xn.Write(p, i, 0)
+		}
+
+		bar := NewBarrier(p, procs)
+		done := p.NewEventcount(procs + 1)
+		for w := 0; w < procs; w++ {
+			w := w
+			p.CreateOn(w, func(q *ivy.Proc) {
+				lo, hi := splitRange(n, procs, w)
+				src, dst := x, xn
+				for it := 1; it <= par.Iters; it++ {
+					for i := lo; i < hi; i++ {
+						sum := b.Read(q, i)
+						var aii float64
+						for j := 0; j < n; j++ {
+							aij := a.Read(q, i*n+j)
+							if j == i {
+								aii = aij
+								continue
+							}
+							sum -= aij * src.Read(q, j)
+							// A range-checked Pascal multiply-accumulate on
+							// a 68020/68881: ~16 instruction times.
+							q.LocalOps(16)
+						}
+						dst.Write(q, i, sum/aii)
+						q.LocalOps(4)
+					}
+					bar.Await(q, it)
+					src, dst = dst, src
+				}
+				done.Advance(q)
+			}, ivy.WithName(fmt.Sprintf("jacobi%d", w)), ivy.NotMigratable())
+		}
+		done.Wait(p, int64(procs))
+
+		// The final iterate lives in x or xn depending on parity.
+		final := x
+		if par.Iters%2 == 1 {
+			final = xn
+		}
+		maxErr := 0.0
+		for i := 0; i < n; i++ {
+			if e := math.Abs(final.Read(p, i) - 1); e > maxErr {
+				maxErr = e
+			}
+		}
+		check = maxErr
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	// Convergence rate depends on N and Iters; the hard gate here only
+	// catches divergence (coherence bugs show up as garbage, not as a
+	// slightly larger residual). Tests assert tighter bounds.
+	if check > 0.1 {
+		return Result{}, fmt.Errorf("jacobi: did not converge (max err %g)", check)
+	}
+	return Result{
+		Processors: procs,
+		Elapsed:    cluster.Elapsed(),
+		Stats:      cluster.Snapshot(),
+		Latency:    cluster.Latencies(),
+		Check:      check,
+	}, nil
+}

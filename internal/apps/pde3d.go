@@ -1,0 +1,153 @@
+package apps
+
+import (
+	"fmt"
+
+	ivy "repro"
+)
+
+// PDE3DParams sizes the three-dimensional PDE solver.
+type PDE3DParams struct {
+	N     int // grid side; the domain is N^3 points
+	Iters int
+	Seed  uint64
+	// OnIteration, when set, runs in the coordinating process after each
+	// global iteration — Table 1 snapshots disk transfers through it.
+	OnIteration func(p *ivy.Proc, iter int)
+}
+
+// DefaultPDE3D is the Figure 5 workload (fits in memory). The grid must
+// be large enough that a slab's compute dominates its two halo planes'
+// per-iteration page transfers; below ~N=32 the halo exchange flattens
+// the curve.
+func DefaultPDE3D() PDE3DParams { return PDE3DParams{N: 40, Iters: 20, Seed: 11} }
+
+// MemoryPressurePDE3D is the Figure 4 / Table 1 workload: with the
+// cluster configured at 512 frames per node, the three N=40 float32
+// arrays (~750 pages) exceed one node's memory — the one-processor run
+// pages against its disk on every sweep — while two processors' combined
+// 1024 frames hold everything. "The data structure for the problem is
+// greater than the size of physical memory on a single processor."
+func MemoryPressurePDE3D() PDE3DParams { return PDE3DParams{N: 40, Iters: 6, Seed: 11} }
+
+// MemoryPressureFrames is the per-node frame count used with
+// MemoryPressurePDE3D (plus whatever Config the caller builds).
+const MemoryPressureFrames = 512
+
+// RunPDE3D solves a 3-D Poisson-style equation with parallel Jacobi
+// sweeps. As in the paper, the sparse matrix A is never stored — "the
+// practical PDE solvers usually eliminate the matrix by coding it into
+// programs" — so only the vectors u (two buffers) and the right-hand
+// side f live in shared virtual memory. The domain is partitioned into
+// slabs of k-planes, one process per processor.
+func RunPDE3D(cfg ivy.Config, par PDE3DParams) (Result, error) {
+	cluster := ivy.New(cfg)
+	procs := cluster.Processors()
+	n := par.N
+	pts := n * n * n
+	idx := func(i, j, k int) int { return (k*n+j)*n + i }
+	var check float64
+	err := cluster.Run(func(p *ivy.Proc) {
+		// 4-byte reals, as the Pascal original would store them.
+		u := AllocF32(p, pts)
+		un := AllocF32(p, pts)
+		f := AllocF32(p, pts)
+
+		// Initialization on one processor only, as the paper notes for
+		// the super-linear experiment ("the program initializes its data
+		// structures only on one processor").
+		rng := newXorshift(par.Seed)
+		for q := 0; q < pts; q++ {
+			f.Write(p, q, float32(rng.nextFloat()))
+			u.Write(p, q, 0)
+			un.Write(p, q, 0)
+		}
+
+		bar := NewBarrier(p, procs)
+		done := p.NewEventcount(procs + 1)
+		// Instrumented runs (Table 1) pause all workers at each iteration
+		// boundary while the coordinator snapshots counters; iterEC
+		// signals the boundary, ackEC releases the workers. Timing is not
+		// reported for instrumented runs.
+		instrument := par.OnIteration != nil
+		iterEC := p.NewEventcount(procs + 1)
+		ackEC := p.NewEventcount(procs + 1)
+		for w := 0; w < procs; w++ {
+			w := w
+			p.CreateOn(w, func(q *ivy.Proc) {
+				klo, khi := splitRange(n, procs, w)
+				src, dst := u, un
+				for it := 1; it <= par.Iters; it++ {
+					for k := klo; k < khi; k++ {
+						for j := 0; j < n; j++ {
+							for i := 0; i < n; i++ {
+								c := idx(i, j, k)
+								sum := float32(f.Read(q, c))
+								if i > 0 {
+									sum += src.Read(q, c-1)
+								}
+								if i < n-1 {
+									sum += src.Read(q, c+1)
+								}
+								if j > 0 {
+									sum += src.Read(q, c-n)
+								}
+								if j < n-1 {
+									sum += src.Read(q, c+n)
+								}
+								if k > 0 {
+									sum += src.Read(q, c-n*n)
+								}
+								if k < n-1 {
+									sum += src.Read(q, c+n*n)
+								}
+								dst.Write(q, c, sum/6)
+								// Seven range-checked 3-D array accesses, six
+								// FP adds and an FP divide of Pascal-compiled
+								// 68020/68881 code: ~100 instruction times.
+								q.LocalOps(80)
+							}
+						}
+					}
+					bar.Await(q, it)
+					if instrument {
+						if w == 0 {
+							iterEC.Advance(q) // signal the coordinator
+						}
+						ackEC.Wait(q, int64(it))
+					}
+					src, dst = dst, src
+				}
+				done.Advance(q)
+			}, ivy.WithName(fmt.Sprintf("pde%d", w)), ivy.NotMigratable())
+		}
+		if instrument {
+			for it := 1; it <= par.Iters; it++ {
+				iterEC.Wait(p, int64(it))
+				par.OnIteration(p, it)
+				ackEC.Advance(p)
+			}
+		}
+		done.Wait(p, int64(procs))
+
+		final := u
+		if par.Iters%2 == 1 {
+			final = un
+		}
+		sum := 0.0
+		for q := 0; q < pts; q += 7 {
+			sum += float64(final.Read(p, q))
+		}
+		check = sum
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Processors: procs,
+		Elapsed:    cluster.Elapsed(),
+		Stats:      cluster.Snapshot(),
+		Latency:    cluster.Latencies(),
+		Check:      check,
+	}, nil
+}

@@ -1,0 +1,267 @@
+// Package core implements the shared virtual memory itself: a paged
+// address space kept coherent across the simulated cluster with the
+// invalidation approach and the ownership-manager algorithms of Li's IVY
+// (improved centralized, fixed distributed, dynamic distributed, and — as
+// an ablation from the companion TOCS paper — a broadcast manager).
+//
+// Each node runs one SVM instance holding the node's page table
+// (internal/mmu), frame pool (internal/memfs), paging disk
+// (internal/disk), and an attachment to the remote-operation layer
+// (internal/remop). Every shared-memory access goes through an accessor
+// that performs the check a hardware MMU would perform and traps to the
+// fault handlers below when the access is insufficient — the software
+// substitution for SIGSEGV-based fault trapping that DESIGN.md documents.
+//
+// Invariants the implementation maintains (and tests assert):
+//
+//   - Single writer: at most one node holds write access to a page, and
+//     that node is the owner.
+//   - Readers are registered: every node with read access appears in the
+//     owner's copyset (modulo copies dropped by local eviction, whose
+//     later invalidation is a harmless no-op).
+//   - A page's fault lock serializes the local fault path with incoming
+//     remote requests for that page; lock holders never pin the node CPU
+//     while blocked, which keeps cross-node fault services deadlock-free.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/memfs"
+	"repro/internal/mmu"
+	"repro/internal/model"
+	"repro/internal/remop"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DefaultBase is the start of the shared portion of the address space.
+// IVY splits each user address space into a private low portion and a
+// shared high portion.
+const DefaultBase = 0x8000_0000
+
+// Ctx is the executing context of a shared-memory access: the current
+// lightweight process. It accumulates fine-grained compute charges and
+// settles them against the node's CPU in bounded quanta.
+type Ctx interface {
+	// Fiber returns the fiber to block when the access faults.
+	Fiber() *sim.Fiber
+	// Charge accumulates d of compute time.
+	Charge(d time.Duration)
+	// Flush settles accumulated charges; called before blocking.
+	Flush()
+}
+
+// ChargeCtx is the canonical Ctx: it batches charges and holds the node
+// CPU only while settling them, so remote-request handlers interleave
+// with user computation at quantum granularity.
+type ChargeCtx struct {
+	fiber   *sim.Fiber
+	cpu     *sim.Resource
+	quantum time.Duration
+	debt    time.Duration
+}
+
+// NewChargeCtx builds a charging context for a fiber running on the node
+// that owns cpu.
+func NewChargeCtx(f *sim.Fiber, cpu *sim.Resource, quantum time.Duration) *ChargeCtx {
+	if quantum <= 0 {
+		panic("core: non-positive compute quantum")
+	}
+	return &ChargeCtx{fiber: f, cpu: cpu, quantum: quantum}
+}
+
+// Fiber returns the underlying fiber.
+func (c *ChargeCtx) Fiber() *sim.Fiber { return c.fiber }
+
+// Charge accumulates compute time, settling a full quantum when reached.
+func (c *ChargeCtx) Charge(d time.Duration) {
+	c.debt += d
+	if c.debt >= c.quantum {
+		c.Flush()
+	}
+}
+
+// Flush settles accumulated debt against the CPU in quantum-sized
+// holds, releasing between chunks so queued request handlers interleave
+// with long computations — the points at which a user-mode system
+// fields network interrupts.
+func (c *ChargeCtx) Flush() {
+	for c.debt > 0 {
+		d := c.debt
+		if d > c.quantum {
+			d = c.quantum
+		}
+		c.debt -= d
+		c.cpu.Acquire(c.fiber)
+		c.fiber.Sleep(d)
+		c.cpu.Release()
+	}
+}
+
+// chargeCPU stalls the fiber for d with the node CPU held — for
+// synchronous costs like the fault trap and page copies.
+func chargeCPU(f *sim.Fiber, cpu *sim.Resource, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	cpu.Acquire(f)
+	f.Sleep(d)
+	cpu.Release()
+}
+
+// Config assembles one node's SVM.
+type Config struct {
+	Node         ring.NodeID
+	PageSize     int // bytes per page; power of two >= 64
+	NumPages     int // shared-space size in pages
+	MemPages     int // physical frames (0 = unconstrained)
+	DefaultOwner ring.NodeID
+	Algorithm    Algorithm
+	Costs        model.Costs
+
+	// Base is the first shared address; 0 selects DefaultBase.
+	Base uint64
+
+	// BroadcastInvalidation switches the write-fault invalidation from
+	// point-to-point requests to a broadcast with replies-from-all, the
+	// alternative the paper's remote-operation section describes.
+	BroadcastInvalidation bool
+}
+
+// SVM is one node's view of the shared virtual memory.
+type SVM struct {
+	eng   *sim.Engine
+	ep    *remop.Endpoint
+	cpu   *sim.Resource
+	node  ring.NodeID
+	costs model.Costs
+
+	base     uint64
+	pageSize int
+	numPages int
+
+	table *mmu.Table
+	pool  *memfs.Pool
+	dsk   *disk.Disk
+	mgr   manager
+
+	numNodes     int
+	defaultOwner ring.NodeID
+
+	bcastInval bool
+	st         *stats.Node
+	lat        stats.Latency
+	tracer     *traceCfg
+}
+
+// New builds and wires a node's SVM, installing its request handlers on
+// the endpoint. st receives the node's counters (may be shared with the
+// process manager).
+func New(eng *sim.Engine, ep *remop.Endpoint, cpu *sim.Resource, cfg Config, st *stats.Node) *SVM {
+	if cfg.PageSize < 64 || cfg.PageSize&(cfg.PageSize-1) != 0 {
+		panic(fmt.Sprintf("core: page size %d must be a power of two >= 64", cfg.PageSize))
+	}
+	if cfg.NumPages <= 0 {
+		panic("core: NumPages must be positive")
+	}
+	if err := cfg.Costs.Validate(); err != nil {
+		panic(err)
+	}
+	base := cfg.Base
+	if base == 0 {
+		base = DefaultBase
+	}
+	s := &SVM{
+		eng:          eng,
+		ep:           ep,
+		cpu:          cpu,
+		node:         cfg.Node,
+		costs:        cfg.Costs,
+		base:         base,
+		pageSize:     cfg.PageSize,
+		numPages:     cfg.NumPages,
+		numNodes:     ep.ClusterSize(),
+		defaultOwner: cfg.DefaultOwner,
+		table:        mmu.NewTable(cfg.Node, cfg.NumPages, cfg.DefaultOwner),
+		dsk:          disk.New(cfg.Costs),
+		bcastInval:   cfg.BroadcastInvalidation,
+		st:           st,
+	}
+	s.pool = memfs.NewPool(cfg.MemPages, s.onEvict, s.canEvict)
+	s.mgr = newManager(cfg.Algorithm, s, cfg.DefaultOwner)
+	s.installHandlers()
+	return s
+}
+
+// Node returns the node this SVM belongs to.
+func (s *SVM) Node() ring.NodeID { return s.node }
+
+// PageSize returns the configured page size in bytes.
+func (s *SVM) PageSize() int { return s.pageSize }
+
+// NumPages returns the shared-space size in pages.
+func (s *SVM) NumPages() int { return s.numPages }
+
+// Base returns the first shared address.
+func (s *SVM) Base() uint64 { return s.base }
+
+// Limit returns one past the last shared address.
+func (s *SVM) Limit() uint64 { return s.base + uint64(s.numPages)*uint64(s.pageSize) }
+
+// Table exposes the page table for tests and migration.
+func (s *SVM) Table() *mmu.Table { return s.table }
+
+// Pool exposes the frame pool for snapshots.
+func (s *SVM) Pool() *memfs.Pool { return s.pool }
+
+// Disk exposes the paging disk for snapshots.
+func (s *SVM) Disk() *disk.Disk { return s.dsk }
+
+// Stats returns the node's counter block.
+func (s *SVM) Stats() *stats.Node { return s.st }
+
+// Latency returns the node's fault-service histograms.
+func (s *SVM) Latency() *stats.Latency { return &s.lat }
+
+// Endpoint returns the remote-operation endpoint.
+func (s *SVM) Endpoint() *remop.Endpoint { return s.ep }
+
+// CPU returns the node's processor resource.
+func (s *SVM) CPU() *sim.Resource { return s.cpu }
+
+// PageOf maps a shared address to its page.
+func (s *SVM) PageOf(addr uint64) mmu.PageID {
+	if addr < s.base || addr >= s.Limit() {
+		panic(fmt.Sprintf("core: address %#x outside shared space [%#x,%#x)", addr, s.base, s.Limit()))
+	}
+	return mmu.PageID((addr - s.base) / uint64(s.pageSize))
+}
+
+// PageAddr returns the first address of page p.
+func (s *SVM) PageAddr(p mmu.PageID) uint64 {
+	return s.base + uint64(p)*uint64(s.pageSize)
+}
+
+// onEvict is the frame pool's eviction callback: owned dirty pages go to
+// the node's paging disk; read copies and clean owned pages are dropped.
+// Either way the page traps on its next local reference.
+func (s *SVM) onEvict(f *sim.Fiber, p mmu.PageID, data []byte) {
+	defer s.trace("onEvict", p)
+	e := s.table.Entry(p)
+	if e.IsOwner && e.Dirty {
+		s.dsk.Write(f, p, data)
+		e.Dirty = false
+	}
+	e.Access = mmu.AccessNil
+}
+
+// canEvict pins pages whose fault lock is held: a frame mid-transfer
+// must not be reclaimed under the protocol.
+func (s *SVM) canEvict(p mmu.PageID) bool { return !s.table.Locked(p) }
+
+// Costs returns the node's cost model.
+func (s *SVM) Costs() model.Costs { return s.costs }

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/mmu"
+	"repro/internal/remop"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// --- Accessors ---------------------------------------------------------
+//
+// The fast path is the software stand-in for an MMU check: consult the
+// page-table entry, and if the access right is present and the frame
+// resident, touch the bytes and accumulate the per-reference cost. Any
+// shortfall traps into the slow path.
+
+// ReadBytes copies n bytes starting at addr out of shared memory,
+// faulting in pages as needed (the read may span pages).
+func (s *SVM) ReadBytes(ctx Ctx, addr uint64, n int) []byte {
+	out := make([]byte, n)
+	off := 0
+	for off < n {
+		a := addr + uint64(off)
+		p := s.PageOf(a)
+		po := int(a-s.base) % s.pageSize
+		chunk := s.pageSize - po
+		if chunk > n-off {
+			chunk = n - off
+		}
+		frame := s.frameForRead(ctx, p)
+		copy(out[off:off+chunk], frame[po:po+chunk])
+		// frameForRead charged one reference; charge the rest of the
+		// chunk word by word, as the hardware would issue them.
+		if words := (chunk - 1) / 8; words > 0 {
+			ctx.Charge(time.Duration(words) * s.costs.MemRef)
+		}
+		off += chunk
+	}
+	return out
+}
+
+// WriteBytes stores data into shared memory starting at addr, faulting
+// for ownership page by page.
+func (s *SVM) WriteBytes(ctx Ctx, addr uint64, data []byte) {
+	off := 0
+	for off < len(data) {
+		a := addr + uint64(off)
+		p := s.PageOf(a)
+		po := int(a-s.base) % s.pageSize
+		chunk := s.pageSize - po
+		if chunk > len(data)-off {
+			chunk = len(data) - off
+		}
+		frame := s.frameForWrite(ctx, p)
+		copy(frame[po:po+chunk], data[off:off+chunk])
+		if words := (chunk - 1) / 8; words > 0 {
+			ctx.Charge(time.Duration(words) * s.costs.MemRef)
+		}
+		off += chunk
+	}
+}
+
+// scalarSpan locates addr..addr+n within one page, panicking on scalar
+// accesses that straddle a page boundary (the allocator aligns blocks,
+// so a straddle is a client addressing bug worth failing loudly on).
+func (s *SVM) scalarSpan(addr uint64, n int) (mmu.PageID, int) {
+	p := s.PageOf(addr)
+	po := int(addr-s.base) % s.pageSize
+	if po+n > s.pageSize {
+		panic(fmt.Sprintf("core: %d-byte scalar at %#x crosses a page boundary", n, addr))
+	}
+	return p, po
+}
+
+// ReadU64 reads a little-endian 64-bit word.
+func (s *SVM) ReadU64(ctx Ctx, addr uint64) uint64 {
+	p, po := s.scalarSpan(addr, 8)
+	frame := s.frameForRead(ctx, p)
+	return binary.LittleEndian.Uint64(frame[po:])
+}
+
+// WriteU64 writes a little-endian 64-bit word.
+func (s *SVM) WriteU64(ctx Ctx, addr uint64, v uint64) {
+	p, po := s.scalarSpan(addr, 8)
+	frame := s.frameForWrite(ctx, p)
+	binary.LittleEndian.PutUint64(frame[po:], v)
+}
+
+// ReadI64 reads a 64-bit signed integer.
+func (s *SVM) ReadI64(ctx Ctx, addr uint64) int64 { return int64(s.ReadU64(ctx, addr)) }
+
+// WriteI64 writes a 64-bit signed integer.
+func (s *SVM) WriteI64(ctx Ctx, addr uint64, v int64) { s.WriteU64(ctx, addr, uint64(v)) }
+
+// ReadF64 reads a float64.
+func (s *SVM) ReadF64(ctx Ctx, addr uint64) float64 {
+	return math.Float64frombits(s.ReadU64(ctx, addr))
+}
+
+// WriteF64 writes a float64.
+func (s *SVM) WriteF64(ctx Ctx, addr uint64, v float64) {
+	s.WriteU64(ctx, addr, math.Float64bits(v))
+}
+
+// ReadF32 reads a float32 — the 4-byte Pascal "real" the paper's
+// programs stored; half the page traffic of float64 for the same data.
+func (s *SVM) ReadF32(ctx Ctx, addr uint64) float32 {
+	return math.Float32frombits(s.ReadU32(ctx, addr))
+}
+
+// WriteF32 writes a float32.
+func (s *SVM) WriteF32(ctx Ctx, addr uint64, v float32) {
+	s.WriteU32(ctx, addr, math.Float32bits(v))
+}
+
+// ReadU32 reads a little-endian 32-bit word.
+func (s *SVM) ReadU32(ctx Ctx, addr uint64) uint32 {
+	p, po := s.scalarSpan(addr, 4)
+	frame := s.frameForRead(ctx, p)
+	return binary.LittleEndian.Uint32(frame[po:])
+}
+
+// WriteU32 writes a little-endian 32-bit word.
+func (s *SVM) WriteU32(ctx Ctx, addr uint64, v uint32) {
+	p, po := s.scalarSpan(addr, 4)
+	frame := s.frameForWrite(ctx, p)
+	binary.LittleEndian.PutUint32(frame[po:], v)
+}
+
+// ReadU8 reads one byte.
+func (s *SVM) ReadU8(ctx Ctx, addr uint64) uint8 {
+	p, po := s.scalarSpan(addr, 1)
+	return s.frameForRead(ctx, p)[po]
+}
+
+// WriteU8 writes one byte.
+func (s *SVM) WriteU8(ctx Ctx, addr uint64, v uint8) {
+	p, po := s.scalarSpan(addr, 1)
+	s.frameForWrite(ctx, p)[po] = v
+}
+
+// TestAndSet atomically sets the byte at addr to 1, returning true if it
+// was 0 (the lock was acquired). Atomicity holds because the engine runs
+// one context at a time and the read-modify-write performs no blocking
+// operation once write access is held — the "pinned page plus
+// test-and-set instruction" of the paper's eventcount implementation.
+func (s *SVM) TestAndSet(ctx Ctx, addr uint64) bool {
+	p, po := s.scalarSpan(addr, 1)
+	// Charge before taking the frame: a charge can flush a compute
+	// quantum (yielding the engine), and the page must not be stolen
+	// between the access check and the read-modify-write.
+	ctx.Charge(s.costs.TestAndSet)
+	frame := s.frameForWrite(ctx, p)
+	if frame[po] != 0 {
+		return false
+	}
+	frame[po] = 1
+	return true
+}
+
+// Clear atomically resets the byte at addr to 0 (lock release).
+func (s *SVM) Clear(ctx Ctx, addr uint64) {
+	p, po := s.scalarSpan(addr, 1)
+	ctx.Charge(s.costs.TestAndSet) // before the frame, as in TestAndSet
+	frame := s.frameForWrite(ctx, p)
+	frame[po] = 0
+}
+
+// frameForRead returns page p's frame with at least read access.
+func (s *SVM) frameForRead(ctx Ctx, p mmu.PageID) []byte {
+	s.st.SVM.ReadAccesses++
+	ctx.Charge(s.costs.MemRef)
+	e := s.table.Entry(p)
+	if e.Access != mmu.AccessNil {
+		if frame := s.pool.Get(p); frame != nil {
+			return frame
+		}
+	}
+	return s.slowPath(ctx, p, false)
+}
+
+// frameForWrite returns page p's frame with write access.
+func (s *SVM) frameForWrite(ctx Ctx, p mmu.PageID) []byte {
+	s.st.SVM.WriteAccesses++
+	ctx.Charge(s.costs.MemRef)
+	e := s.table.Entry(p)
+	if e.Access == mmu.AccessWrite {
+		if frame := s.pool.Get(p); frame != nil {
+			if !e.Dirty {
+				e.Dirty = true
+			}
+			return frame
+		}
+	}
+	return s.slowPath(ctx, p, true)
+}
+
+// slowPath resolves a trapped access: local disk fault for owned pages,
+// coherence fault otherwise. It returns the resident frame with the
+// required access. The page's fault lock serializes concurrent local
+// faulters and incoming remote requests for p.
+func (s *SVM) slowPath(ctx Ctx, p mmu.PageID, write bool) []byte {
+	ctx.Flush()
+	f := ctx.Fiber()
+	s.table.Lock(f, p)
+	defer s.table.Unlock(p)
+
+	for {
+		e := s.table.Entry(p)
+		// Re-examine under the lock: another local process may have
+		// resolved the fault while we waited.
+		need := mmu.AccessRead
+		if write {
+			need = mmu.AccessWrite
+		}
+		if e.Access >= need {
+			if frame := s.pool.Get(p); frame != nil {
+				if write {
+					e.Dirty = true
+				}
+				return frame
+			}
+		}
+		switch {
+		case e.IsOwner && !s.pool.Resident(p):
+			s.diskFault(ctx, p)
+		case e.IsOwner && write:
+			s.upgradeFault(ctx, p)
+		case e.IsOwner:
+			// Owner, resident, read wanted, access nil (a serve path
+			// left protection down): restore it.
+			if e.Copyset.Empty() {
+				e.Access = mmu.AccessWrite
+			} else {
+				e.Access = mmu.AccessRead
+			}
+		case !write:
+			s.readFault(ctx, p)
+		default:
+			s.writeFault(ctx, p)
+		}
+	}
+}
+
+// diskFault pages an owned page back in from the node's own disk (or
+// zero-fills a page that has never been materialized — demand-zero pages
+// cost no disk transfer). Restored access is write when no other node
+// holds a copy, read otherwise.
+func (s *SVM) diskFault(ctx Ctx, p mmu.PageID) {
+	defer s.trace("diskFault", p)
+	f := ctx.Fiber()
+	s.st.SVM.DiskFaults++
+	e := s.table.Entry(p)
+	var data []byte
+	if s.dsk.Has(p) {
+		data = s.dsk.Read(f, p)
+	} else {
+		data = make([]byte, s.pageSize)
+	}
+	s.pool.Put(f, p, data)
+	if e.Copyset.Empty() {
+		e.Access = mmu.AccessWrite
+	} else {
+		e.Access = mmu.AccessRead
+	}
+}
+
+// upgradeFault is a write fault on a page the node already owns with
+// read access: the copyset must be invalidated and the protection
+// raised. Every algorithm does this locally except the basic
+// centralized manager, whose manager holds the copyset — the strategy
+// decides (see manager.upgrade).
+func (s *SVM) upgradeFault(ctx Ctx, p mmu.PageID) {
+	defer s.trace("upgradeFault", p)
+	f := ctx.Fiber()
+	s.st.SVM.LocalUpgrades++
+	start := s.eng.Now()
+	chargeCPU(f, s.cpu, s.costs.FaultTrap)
+	s.mgr.upgrade(ctx, p)
+	s.st.SVM.FaultStall += s.eng.Now().Sub(start)
+	s.lat.Upgrade.Record(s.eng.Now().Sub(start))
+}
+
+// readFault obtains a read copy of page p through the configured manager
+// algorithm. Called with the page lock held.
+func (s *SVM) readFault(ctx Ctx, p mmu.PageID) {
+	s.trace("readFault>", p)
+	defer s.trace("readFault<", p)
+	f := ctx.Fiber()
+	s.st.SVM.ReadFaults++
+	start := s.eng.Now()
+	chargeCPU(f, s.cpu, s.costs.FaultTrap)
+	e := s.table.Entry(p)
+	for {
+		reply, err := s.mgr.locateRead(ctx, p)
+		if err != nil {
+			continue // request exhausted retransmissions; start over
+		}
+		chargeCPU(f, s.cpu, s.costs.PageCopy)
+		if e.InvalWhileFaulting {
+			// An invalidation overtook the page data (reordered
+			// retransmission): the copy is stale, discard and refault.
+			e.InvalWhileFaulting = false
+			s.st.SVM.FaultRetries++
+			s.mgr.confirmRead(p)
+			continue
+		}
+		if ring.NodeID(reply.Owner) == s.node {
+			panic(fmt.Sprintf("core: node %d served its own read fault for page %d", s.node, p))
+		}
+		s.pool.Put(f, p, reply.Data)
+		e.Access = mmu.AccessRead
+		e.Dirty = false
+		e.ProbOwner = ring.NodeID(reply.Owner)
+		s.st.SVM.PagesReceived++
+		break
+	}
+	s.mgr.confirmRead(p)
+	s.st.SVM.FaultStall += s.eng.Now().Sub(start)
+	s.lat.ReadFault.Record(s.eng.Now().Sub(start))
+}
+
+// writeFault obtains ownership of page p with exclusive access. Called
+// with the page lock held.
+func (s *SVM) writeFault(ctx Ctx, p mmu.PageID) {
+	s.trace("writeFault>", p)
+	defer s.trace("writeFault<", p)
+	f := ctx.Fiber()
+	s.st.SVM.WriteFaults++
+	start := s.eng.Now()
+	chargeCPU(f, s.cpu, s.costs.FaultTrap)
+	e := s.table.Entry(p)
+	for {
+		reply, err := s.mgr.locateWrite(ctx, p)
+		if err != nil {
+			continue
+		}
+		chargeCPU(f, s.cpu, s.costs.PageCopy)
+		// A poison flag here is harmless for writes: the received page
+		// came with ownership and is authoritative; the invalidation
+		// targeted the read copy we are replacing anyway.
+		e.InvalWhileFaulting = false
+		// Claim ownership BEFORE running the invalidation: the old owner
+		// relinquished when it replied, so the token is ours, and
+		// requests arriving during the invalidation phase then queue
+		// behind this (finite) operation instead of being bounced around
+		// as ownerless. Write access is granted only after every
+		// acknowledgement.
+		s.pool.Put(f, p, reply.Data)
+		e.IsOwner = true
+		e.Copyset = 0
+		e.Dirty = true
+		e.ProbOwner = s.node
+		s.dsk.Drop(p) // any old disk image predates this ownership epoch
+		s.st.SVM.PagesReceived++
+		cs := mmu.Copyset(reply.Copyset).Remove(s.node)
+		s.invalidate(f, p, cs)
+		e.Access = mmu.AccessWrite
+		break
+	}
+	s.mgr.confirmWrite(p)
+	s.st.SVM.FaultStall += s.eng.Now().Sub(start)
+	s.lat.WriteFault.Record(s.eng.Now().Sub(start))
+}
+
+// invalidate revokes every read copy in cs, waiting for all
+// acknowledgements before the caller proceeds to write.
+func (s *SVM) invalidate(f *sim.Fiber, p mmu.PageID, cs mmu.Copyset) {
+	if cs.Empty() {
+		return
+	}
+	members := cs.Members()
+	s.st.SVM.InvalSent += uint64(len(members))
+	req := &wire.InvalidateReq{Page: uint32(p), NewOwner: uint16(s.node)}
+	if s.bcastInval {
+		// Broadcast with replies-from-all: non-holders ack trivially.
+		for {
+			if _, err := s.ep.BroadcastAll(f, req); err == nil {
+				return
+			}
+		}
+	}
+	for {
+		if _, err := s.ep.CallMany(f, members, req); err == nil {
+			return
+		}
+	}
+}
+
+// --- Owner-side service -------------------------------------------------
+
+// residentFrame brings an owned page's data into the pool (from disk or
+// by zero-fill) and returns the live frame. Called with the page lock
+// held by a serving handler.
+func (s *SVM) residentFrame(f *sim.Fiber, p mmu.PageID) []byte {
+	if frame := s.pool.Peek(p); frame != nil {
+		return frame
+	}
+	s.st.SVM.DiskFaults++
+	var data []byte
+	if s.dsk.Has(p) {
+		data = s.dsk.Read(f, p)
+	} else {
+		data = make([]byte, s.pageSize)
+	}
+	s.pool.Put(f, p, data)
+	return data
+}
+
+// takeData removes an owned page's data from this node on a write
+// transfer, avoiding a pointless frame install when the page is on disk.
+func (s *SVM) takeData(f *sim.Fiber, p mmu.PageID) []byte {
+	if frame := s.pool.Peek(p); frame != nil {
+		s.pool.Drop(p)
+		return frame
+	}
+	if s.dsk.Has(p) {
+		data := s.dsk.Read(f, p)
+		s.dsk.Drop(p)
+		return data
+	}
+	return make([]byte, s.pageSize)
+}
+
+// serveRead services a read fault from origin if this node owns page p:
+// register the reader, downgrade write access to read, and return a copy
+// of the page. Returns nil when not the owner (the caller forwards or
+// declines according to the algorithm).
+func (s *SVM) serveRead(f *sim.Fiber, origin ring.NodeID, p mmu.PageID) *wire.PageReadReply {
+	defer s.trace("serveRead", p)
+	s.table.Lock(f, p)
+	defer s.table.Unlock(p)
+	e := s.table.Entry(p)
+	if !e.IsOwner {
+		return nil
+	}
+	frame := s.residentFrame(f, p)
+	e.Copyset = e.Copyset.Add(origin)
+	// The owner keeps the page with read access — downgraded from write,
+	// or restored after residentFrame paged an evicted page back in.
+	e.Access = mmu.AccessRead
+	chargeCPU(f, s.cpu, s.costs.PageCopy)
+	data := make([]byte, len(frame))
+	copy(data, frame)
+	s.st.SVM.PagesSent++
+	return &wire.PageReadReply{Page: uint32(p), Owner: uint16(s.node), Data: data}
+}
+
+// serveWrite services a write fault from origin if this node owns page
+// p: relinquish ownership, hand over the page data and copyset, and
+// point the probOwner hint at the new owner. Returns nil when not the
+// owner.
+func (s *SVM) serveWrite(f *sim.Fiber, origin ring.NodeID, p mmu.PageID) *wire.PageWriteReply {
+	defer s.trace("serveWrite", p)
+	s.table.Lock(f, p)
+	defer s.table.Unlock(p)
+	e := s.table.Entry(p)
+	if !e.IsOwner {
+		return nil
+	}
+	data := s.takeData(f, p)
+	cs := e.Copyset
+	e.Copyset = 0
+	e.IsOwner = false
+	e.Access = mmu.AccessNil
+	e.Dirty = false
+	e.ProbOwner = origin
+	s.dsk.Drop(p)
+	chargeCPU(f, s.cpu, s.costs.PageCopy)
+	s.st.SVM.PagesSent++
+	return &wire.PageWriteReply{Page: uint32(p), Copyset: uint64(cs), Data: data}
+}
+
+// --- Handlers ------------------------------------------------------------
+
+// installHandlers registers the algorithm-independent handlers. The
+// manager strategies register the fault-request handlers.
+func (s *SVM) installHandlers() {
+	s.ep.SetHandler(wire.KindInvalidateReq, s.handleInvalidate)
+	s.mgr.install()
+}
+
+// handleInvalidate revokes this node's read copy. It deliberately does
+// NOT take the page lock: if a local fault on p is in flight, the entry
+// is poisoned instead (see readFault), because blocking here while the
+// new owner waits for our ack would deadlock the transfer.
+func (s *SVM) handleInvalidate(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
+	m := env.Body.(*wire.InvalidateReq)
+	p := mmu.PageID(m.Page)
+	defer s.trace("handleInval", p)
+	e := s.table.Entry(p)
+	s.st.SVM.InvalReceived++
+	if e.IsOwner {
+		// Only a stale duplicate from a previous ownership epoch can
+		// address the current owner; acknowledge without acting.
+		s.st.SVM.StaleInvals++
+		return &wire.InvalidateAck{Page: m.Page}
+	}
+	if ring.NodeID(m.NewOwner) == s.node {
+		panic(fmt.Sprintf("core: node %d received invalidation naming itself the new owner of page %d", s.node, p))
+	}
+	if s.table.Locked(p) {
+		e.InvalWhileFaulting = true
+	}
+	e.Access = mmu.AccessNil
+	e.ProbOwner = ring.NodeID(m.NewOwner)
+	s.pool.Drop(p)
+	return &wire.InvalidateAck{Page: m.Page}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mmu"
+	"repro/internal/ring"
+)
+
+// PageEvent is one coherence-state transition of one page on one node,
+// as delivered to a page tracer: which protocol site fired and the
+// entry's state after it.
+type PageEvent struct {
+	Time      time.Duration
+	Node      ring.NodeID
+	Site      string // diskFault, readFault>, readFault<, serveRead, ...
+	Page      mmu.PageID
+	IsOwner   bool
+	Access    mmu.Access
+	ProbOwner ring.NodeID
+	Dirty     bool
+	Resident  bool
+	Locked    bool
+}
+
+func (e PageEvent) String() string {
+	return fmt.Sprintf("[%v] node%d %-14s page%d owner=%v acc=%v prob=%d dirty=%v res=%v locked=%v",
+		e.Time, e.Node, e.Site, e.Page, e.IsOwner, e.Access, e.ProbOwner,
+		e.Dirty, e.Resident, e.Locked)
+}
+
+// PageTracer receives page events; it runs in engine context and must
+// not block.
+type PageTracer func(PageEvent)
+
+// traceCfg is the node's tracing state.
+type traceCfg struct {
+	page mmu.PageID
+	all  bool
+	fn   PageTracer
+}
+
+// SetPageTracer arranges for every coherence transition of page p (or of
+// all pages, when all is true) to be reported to fn. Pass a nil fn to
+// disable. Tracing is per-node; the facade installs it cluster-wide.
+func (s *SVM) SetPageTracer(p mmu.PageID, all bool, fn PageTracer) {
+	if fn == nil {
+		s.tracer = nil
+		return
+	}
+	s.tracer = &traceCfg{page: p, all: all, fn: fn}
+}
+
+// trace reports a transition of page p at the named protocol site.
+func (s *SVM) trace(site string, p mmu.PageID) {
+	t := s.tracer
+	if t == nil || (!t.all && p != t.page) {
+		return
+	}
+	e := s.table.Entry(p)
+	t.fn(PageEvent{
+		Time:      s.eng.Now().Duration(),
+		Node:      s.node,
+		Site:      site,
+		Page:      p,
+		IsOwner:   e.IsOwner,
+		Access:    e.Access,
+		ProbOwner: e.ProbOwner,
+		Dirty:     e.Dirty,
+		Resident:  s.pool.Resident(p),
+		Locked:    s.table.Locked(p),
+	})
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mmu"
+	"repro/internal/ring"
+)
+
+// VerifyCoherence checks the protocol invariants across a quiesced
+// cluster (no faults in flight) and returns the violations found:
+//
+//   - every page has exactly one owner;
+//   - write access is held only by a page's owner;
+//   - every node holding read access appears in the owner's copyset;
+//   - no probOwner hint points at its own non-owning node;
+//   - no page fault lock is still held.
+//
+// It is exported so integration tests and the facade can assert protocol
+// health after arbitrary workloads.
+func VerifyCoherence(svms []*SVM) []error {
+	if len(svms) == 0 {
+		return nil
+	}
+	var errs []error
+	numPages := svms[0].NumPages()
+	for p := 0; p < numPages; p++ {
+		page := mmu.PageID(p)
+		owner := -1
+		var readers []int
+		for i, s := range svms {
+			e := s.Table().Entry(page)
+			if e.IsOwner {
+				if owner != -1 {
+					errs = append(errs, fmt.Errorf("page %d: two owners (%d, %d)", p, owner, i))
+				}
+				owner = i
+			}
+			if e.Access == mmu.AccessWrite && !e.IsOwner {
+				errs = append(errs, fmt.Errorf("page %d: node %d has write access without ownership", p, i))
+			}
+			if e.Access == mmu.AccessRead && !e.IsOwner {
+				readers = append(readers, i)
+			}
+			if !e.IsOwner && e.ProbOwner == ring.NodeID(i) {
+				errs = append(errs, fmt.Errorf("page %d: node %d's probOwner points at itself without ownership", p, i))
+			}
+			if s.Table().Locked(page) {
+				errs = append(errs, fmt.Errorf("page %d: fault lock still held on node %d", p, i))
+			}
+		}
+		if owner == -1 {
+			errs = append(errs, fmt.Errorf("page %d: no owner", p))
+			continue
+		}
+		oe := svms[owner].Table().Entry(page)
+		if len(readers) > 0 && oe.Access == mmu.AccessWrite {
+			errs = append(errs, fmt.Errorf("page %d: owner %d holds write access alongside readers %v", p, owner, readers))
+		}
+		for _, r := range readers {
+			if !oe.Copyset.Has(ring.NodeID(r)) {
+				errs = append(errs, fmt.Errorf("page %d: reader %d missing from owner %d's copyset", p, r, owner))
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,76 @@
+// Package disk models a node's local paging disk. The Aegis virtual
+// memory system underneath IVY pages to local disk with an approximately
+// LRU replacement policy; the experiments in the paper (Table 1, and the
+// super-linear speedup of Figure 4) hinge on how many page transfers this
+// disk absorbs. Transfers charge the calibrated per-page I/O cost and are
+// counted for the harness.
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/mmu"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Disk is one node's paging store.
+type Disk struct {
+	costs model.Costs
+	store map[mmu.PageID][]byte
+
+	reads  uint64
+	writes uint64
+}
+
+// New creates an empty paging store.
+func New(costs model.Costs) *Disk {
+	return &Disk{costs: costs, store: make(map[mmu.PageID][]byte)}
+}
+
+// Write pages data out to disk, stalling the fiber for the I/O time. The
+// data is copied; the caller may reuse the buffer.
+func (d *Disk) Write(f *sim.Fiber, p mmu.PageID, data []byte) {
+	buf, ok := d.store[p]
+	if !ok || len(buf) != len(data) {
+		buf = make([]byte, len(data))
+	}
+	copy(buf, data)
+	d.store[p] = buf
+	d.writes++
+	f.Sleep(d.costs.DiskIO)
+}
+
+// Read pages data in from disk, stalling the fiber for the I/O time. It
+// panics if the page was never written: callers must consult Has first
+// and zero-fill pages that have no disk image yet.
+func (d *Disk) Read(f *sim.Fiber, p mmu.PageID) []byte {
+	data, ok := d.store[p]
+	if !ok {
+		panic(fmt.Sprintf("disk: read of page %d with no disk image", p))
+	}
+	d.reads++
+	f.Sleep(d.costs.DiskIO)
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}
+
+// Has reports whether page p has a disk image.
+func (d *Disk) Has(p mmu.PageID) bool {
+	_, ok := d.store[p]
+	return ok
+}
+
+// Drop discards page p's disk image (e.g. after ownership moved away).
+func (d *Disk) Drop(p mmu.PageID) { delete(d.store, p) }
+
+// Reads returns the number of page-in transfers performed.
+func (d *Disk) Reads() uint64 { return d.reads }
+
+// Writes returns the number of page-out transfers performed.
+func (d *Disk) Writes() uint64 { return d.writes }
+
+// Transfers returns total disk page transfers (reads + writes), the
+// quantity Table 1 of the paper reports.
+func (d *Disk) Transfers() uint64 { return d.reads + d.writes }

@@ -1,0 +1,104 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	eng := sim.New(1)
+	costs := model.Default1988()
+	d := New(costs)
+	eng.Go("t", func(f *sim.Fiber) {
+		data := []byte{1, 2, 3, 4}
+		d.Write(f, 7, data)
+		data[0] = 99 // caller's buffer must not alias the store
+		got := d.Read(f, 7)
+		if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+			t.Errorf("Read = %v", got)
+		}
+		got[1] = 99 // returned buffer must not alias the store either
+		if again := d.Read(f, 7); !bytes.Equal(again, []byte{1, 2, 3, 4}) {
+			t.Errorf("store aliased: %v", again)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Reads() != 2 || d.Writes() != 1 || d.Transfers() != 3 {
+		t.Fatalf("counters: reads=%d writes=%d", d.Reads(), d.Writes())
+	}
+	// 1 write + 2 reads at DiskIO each.
+	if want := sim.Time(3 * costs.DiskIO); eng.Now() != want {
+		t.Fatalf("virtual time %v, want %v", eng.Now(), want)
+	}
+}
+
+func TestReadMissingPanics(t *testing.T) {
+	eng := sim.New(1)
+	d := New(model.Default1988())
+	eng.Go("t", func(f *sim.Fiber) { d.Read(f, 3) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read of missing page did not panic")
+		}
+	}()
+	_ = eng.Run()
+}
+
+func TestHasAndDrop(t *testing.T) {
+	eng := sim.New(1)
+	d := New(model.Default1988())
+	eng.Go("t", func(f *sim.Fiber) {
+		if d.Has(1) {
+			t.Error("Has on empty disk")
+		}
+		d.Write(f, 1, []byte{5})
+		if !d.Has(1) {
+			t.Error("Has after write")
+		}
+		d.Drop(1)
+		if d.Has(1) {
+			t.Error("Has after drop")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverwriteKeepsSingleImage(t *testing.T) {
+	eng := sim.New(1)
+	d := New(model.Default1988())
+	eng.Go("t", func(f *sim.Fiber) {
+		d.Write(f, 1, []byte{1})
+		d.Write(f, 1, []byte{2})
+		if got := d.Read(f, 1); got[0] != 2 {
+			t.Errorf("Read = %v, want latest image", got)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Writes() != 2 {
+		t.Fatalf("writes = %d", d.Writes())
+	}
+}
+
+func TestIOChargesConfiguredCost(t *testing.T) {
+	eng := sim.New(1)
+	costs := model.Default1988()
+	costs.DiskIO = 5 * time.Millisecond
+	d := New(costs)
+	eng.Go("t", func(f *sim.Fiber) { d.Write(f, 1, []byte{0}) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != sim.Time(5*time.Millisecond) {
+		t.Fatalf("time = %v", eng.Now())
+	}
+}

@@ -1,0 +1,268 @@
+// Package harness regenerates the paper's tables and figures: speedup
+// curves over 1..N processors for the six benchmark programs (Figures 5
+// and 6), the super-linear 3-D PDE experiment (Figure 4), the
+// per-iteration disk-transfer counts (Table 1), and the ablations
+// DESIGN.md calls out (manager algorithms, page size, allocator scheme,
+// load balancing). Every experiment is deterministic: fixed seeds, fixed
+// workloads, virtual time.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	ivy "repro"
+	"repro/internal/apps"
+)
+
+// Point is one processor count on a speedup curve.
+type Point struct {
+	Procs   int
+	Elapsed time.Duration
+	Speedup float64 // T(1) / T(P)
+	Faults  uint64  // coherence faults across the cluster
+	Packets uint64
+	DiskIO  uint64
+}
+
+// Curve is a named speedup series.
+type Curve struct {
+	Name   string
+	Points []Point
+}
+
+// Speedup computes a curve by running fn at each processor count in
+// procs (which must start at 1, the baseline).
+func Speedup(name string, procs []int, fn func(p int) (apps.Result, error)) (Curve, error) {
+	if len(procs) == 0 || procs[0] != 1 {
+		return Curve{}, fmt.Errorf("harness: %s: processor list must start at 1", name)
+	}
+	c := Curve{Name: name}
+	var t1 time.Duration
+	for _, p := range procs {
+		res, err := fn(p)
+		if err != nil {
+			return Curve{}, fmt.Errorf("harness: %s at %d procs: %w", name, p, err)
+		}
+		if p == 1 {
+			t1 = res.Elapsed
+		}
+		tot := res.Stats.Total()
+		c.Points = append(c.Points, Point{
+			Procs:   p,
+			Elapsed: res.Elapsed,
+			Speedup: float64(t1) / float64(res.Elapsed),
+			Faults:  tot.Faults(),
+			Packets: res.Stats.Packets,
+			DiskIO:  tot.DiskTransfers(),
+		})
+	}
+	return c, nil
+}
+
+// DefaultProcs is the paper's processor range: 1..8 (the prototype had
+// eight workstations).
+func DefaultProcs() []int { return []int{1, 2, 3, 4, 5, 6, 7, 8} }
+
+// seed drives every experiment; SetSeed changes it (cmd/ivybench's
+// -seed flag), keeping all runs deterministic per seed.
+var seed int64 = 1
+
+// SetSeed sets the seed used by all experiments.
+func SetSeed(s int64) { seed = s }
+
+// baseConfig is the common experiment configuration.
+func baseConfig(procs int) ivy.Config {
+	return ivy.Config{Processors: procs, Seed: seed}
+}
+
+// --- Figure 5: speedups of the benchmark suite ---------------------------
+
+// Figure5 regenerates the paper's main speedup figure: linear equation
+// solver, 3-D PDE, TSP, matrix multiply, and dot product.
+func Figure5(procs []int) ([]Curve, error) {
+	var out []Curve
+	specs := []struct {
+		name string
+		fn   func(p int) (apps.Result, error)
+	}{
+		{"linear-eqn-solver", func(p int) (apps.Result, error) {
+			return apps.RunJacobi(baseConfig(p), apps.DefaultJacobi())
+		}},
+		{"3d-pde", func(p int) (apps.Result, error) {
+			return apps.RunPDE3D(baseConfig(p), apps.DefaultPDE3D())
+		}},
+		{"tsp", func(p int) (apps.Result, error) {
+			return apps.RunTSP(baseConfig(p), apps.DefaultTSP())
+		}},
+		{"matrix-multiply", func(p int) (apps.Result, error) {
+			return apps.RunMatmul(baseConfig(p), apps.DefaultMatmul())
+		}},
+		{"dot-product", func(p int) (apps.Result, error) {
+			return apps.RunDotProd(baseConfig(p), apps.DefaultDotProd())
+		}},
+	}
+	for _, s := range specs {
+		c, err := Speedup(s.name, procs, s.fn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// --- Figure 4: super-linear speedup under memory pressure ----------------
+
+// Figure4 regenerates the super-linear 3-D PDE experiment: node memory
+// is constrained so the one-processor run pages against its disk while
+// the data distributes into the combined memories at higher counts.
+func Figure4(procs []int) (Curve, error) {
+	return Speedup("3d-pde-memory-pressure", procs, func(p int) (apps.Result, error) {
+		cfg := baseConfig(p)
+		cfg.MemoryPages = apps.MemoryPressureFrames
+		return apps.RunPDE3D(cfg, apps.MemoryPressurePDE3D())
+	})
+}
+
+// --- Table 1: disk page transfers per iteration ---------------------------
+
+// Table1 holds per-iteration disk transfer counts by processor count.
+type Table1 struct {
+	Iters int
+	Rows  map[int][]uint64 // procs -> transfers per iteration
+}
+
+// RunTable1 counts the cluster's disk page transfers in each of the
+// first Iters iterations of the memory-pressure PDE run, on one and two
+// processors, as the paper's Table 1 reports.
+func RunTable1() (Table1, error) {
+	par := apps.MemoryPressurePDE3D()
+	t := Table1{Iters: par.Iters, Rows: map[int][]uint64{}}
+	for _, procs := range []int{1, 2} {
+		cfg := baseConfig(procs)
+		cfg.MemoryPages = apps.MemoryPressureFrames
+		var perIter []uint64
+		var prev uint64
+		p := par
+		p.OnIteration = func(pr *ivy.Proc, iter int) {
+			cur := pr.Cluster().Snapshot().Total().DiskTransfers()
+			perIter = append(perIter, cur-prev)
+			prev = cur
+		}
+		if _, err := apps.RunPDE3D(cfg, p); err != nil {
+			return Table1{}, err
+		}
+		t.Rows[procs] = perIter
+	}
+	return t, nil
+}
+
+// --- Figure 6: merge-split sort --------------------------------------------
+
+// Figure6 regenerates the sort speedup figure, including the free-
+// network variant supporting the paper's observation that "even with no
+// communication costs, the algorithm does not yield linear speedup".
+func Figure6(procs []int) ([]Curve, error) {
+	real, err := Speedup("merge-split-sort", procs, func(p int) (apps.Result, error) {
+		return apps.RunSortMerge(baseConfig(p), apps.DefaultSort())
+	})
+	if err != nil {
+		return nil, err
+	}
+	free, err := Speedup("merge-split-sort-free-net", procs, func(p int) (apps.Result, error) {
+		cfg := baseConfig(p)
+		costs := ivy.FreeNetwork()
+		cfg.Costs = &costs
+		return apps.RunSortMerge(cfg, apps.DefaultSort())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []Curve{real, free}, nil
+}
+
+// --- Rendering --------------------------------------------------------------
+
+// RenderCurve writes a curve as the paper-style series: processors,
+// elapsed virtual time, speedup, and the traffic behind it.
+func RenderCurve(w io.Writer, c Curve) {
+	fmt.Fprintf(w, "%s\n", c.Name)
+	fmt.Fprintf(w, "  %-6s %-14s %-8s %-10s %-10s %-8s\n",
+		"procs", "time", "speedup", "faults", "packets", "diskIO")
+	for _, p := range c.Points {
+		fmt.Fprintf(w, "  %-6d %-14s %-8.2f %-10d %-10d %-8d\n",
+			p.Procs, p.Elapsed.Round(time.Millisecond), p.Speedup, p.Faults, p.Packets, p.DiskIO)
+	}
+	RenderSpeedupChart(w, c)
+}
+
+// RenderSpeedupChart draws a small ASCII speedup-vs-processors chart
+// with the ideal linear diagonal for reference.
+func RenderSpeedupChart(w io.Writer, c Curve) {
+	if len(c.Points) == 0 {
+		return
+	}
+	maxS := 1.0
+	for _, p := range c.Points {
+		if p.Speedup > maxS {
+			maxS = p.Speedup
+		}
+	}
+	maxP := c.Points[len(c.Points)-1].Procs
+	if float64(maxP) > maxS {
+		maxS = float64(maxP) // keep the diagonal in frame
+	}
+	const height = 9
+	rows := make([][]byte, height)
+	width := maxP*4 + 2
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(procs int, v float64, ch byte) {
+		col := (procs - 1) * 4
+		row := height - 1 - int(v/maxS*float64(height-1)+0.5)
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		if rows[row][col] == ' ' || ch == '*' {
+			rows[row][col] = ch
+		}
+	}
+	for _, p := range c.Points {
+		plot(p.Procs, float64(p.Procs), '.') // ideal
+		plot(p.Procs, p.Speedup, '*')
+	}
+	fmt.Fprintf(w, "  speedup ('*' measured, '.' ideal), y-max %.1f\n", maxS)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  |%s\n", string(r))
+	}
+	fmt.Fprintf(w, "  +%s procs 1..%d\n\n", strings.Repeat("-", width), maxP)
+}
+
+// RenderTable1 prints the disk-transfer table in the paper's layout.
+func RenderTable1(w io.Writer, t Table1) {
+	fmt.Fprintf(w, "Disk page transfers of each iteration\n")
+	fmt.Fprintf(w, "  %-14s", "")
+	for i := 1; i <= t.Iters; i++ {
+		fmt.Fprintf(w, "%8d", i)
+	}
+	fmt.Fprintln(w)
+	for _, procs := range []int{1, 2} {
+		label := fmt.Sprintf("%d processor", procs)
+		if procs > 1 {
+			label += "s"
+		}
+		fmt.Fprintf(w, "  %-14s", label)
+		for _, v := range t.Rows[procs] {
+			fmt.Fprintf(w, "%8d", v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

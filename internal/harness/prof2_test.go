@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+)
+
+func TestProfOdd(t *testing.T) {
+	cases := []struct {
+		name  string
+		procs int
+		fn    func(int) error
+	}{
+		{"jacobi", 3, func(p int) error { _, e := apps.RunJacobi(baseConfig(p), apps.DefaultJacobi()); return e }},
+		{"jacobi", 7, func(p int) error { _, e := apps.RunJacobi(baseConfig(p), apps.DefaultJacobi()); return e }},
+		{"pde", 3, func(p int) error { _, e := apps.RunPDE3D(baseConfig(p), apps.DefaultPDE3D()); return e }},
+		{"pde", 7, func(p int) error { _, e := apps.RunPDE3D(baseConfig(p), apps.DefaultPDE3D()); return e }},
+		{"tsp", 2, func(p int) error { _, e := apps.RunTSP(baseConfig(p), apps.DefaultTSP()); return e }},
+		{"tsp", 3, func(p int) error { _, e := apps.RunTSP(baseConfig(p), apps.DefaultTSP()); return e }},
+	}
+	for _, c := range cases {
+		start := time.Now()
+		if err := c.fn(c.procs); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%s-%d: %v real\n", c.name, c.procs, time.Since(start).Round(time.Millisecond))
+	}
+}

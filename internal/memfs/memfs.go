@@ -1,0 +1,160 @@
+// Package memfs models a node's physical memory as a pool of page frames
+// with LRU replacement. The pool is the "large cache of the shared
+// virtual memory address space" the paper describes: when a new page
+// arrives and no frame is free, the least recently used evictable page is
+// pushed out through a caller-supplied eviction callback (which writes
+// owned dirty pages to the node's paging disk).
+//
+// A capacity of zero means unconstrained memory; the memory-pressure
+// experiments (Figure 4, Table 1) set real capacities.
+package memfs
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// EvictFunc disposes of a victim page's data when its frame is reclaimed.
+// It runs on the fiber that needed the frame and may stall it (disk I/O).
+type EvictFunc func(f *sim.Fiber, p mmu.PageID, data []byte)
+
+// CanEvictFunc vetoes eviction of pages that are mid-fault or pinned.
+type CanEvictFunc func(p mmu.PageID) bool
+
+// Pool is one node's frame pool.
+type Pool struct {
+	capacity int // 0 = unconstrained
+	frames   map[mmu.PageID]*frame
+	lru      *list.List // front = most recently used
+	evict    EvictFunc
+	canEvict CanEvictFunc
+
+	evictions uint64
+}
+
+type frame struct {
+	page mmu.PageID
+	data []byte
+	elem *list.Element
+}
+
+// NewPool creates a pool holding at most capacity frames (0 for
+// unlimited). evict is called for each reclaimed victim; canEvict may be
+// nil, allowing any resident page to be chosen.
+func NewPool(capacity int, evict EvictFunc, canEvict CanEvictFunc) *Pool {
+	if evict == nil {
+		panic("memfs: eviction callback required")
+	}
+	return &Pool{
+		capacity: capacity,
+		frames:   make(map[mmu.PageID]*frame),
+		lru:      list.New(),
+		evict:    evict,
+		canEvict: canEvict,
+	}
+}
+
+// Capacity returns the frame limit (0 = unlimited).
+func (pl *Pool) Capacity() int { return pl.capacity }
+
+// Len returns the number of resident pages.
+func (pl *Pool) Len() int { return len(pl.frames) }
+
+// Evictions returns how many frames have been reclaimed.
+func (pl *Pool) Evictions() uint64 { return pl.evictions }
+
+// Resident reports whether page p has a frame.
+func (pl *Pool) Resident(p mmu.PageID) bool {
+	_, ok := pl.frames[p]
+	return ok
+}
+
+// Get returns page p's frame data and marks it most recently used, or nil
+// if the page is not resident. The returned slice is the live frame:
+// writes through it are the page's contents.
+func (pl *Pool) Get(p mmu.PageID) []byte {
+	fr, ok := pl.frames[p]
+	if !ok {
+		return nil
+	}
+	pl.lru.MoveToFront(fr.elem)
+	return fr.data
+}
+
+// Peek returns the frame data without touching LRU order (used when
+// serving remote requests, which should not make a page look hot to the
+// local replacement policy any more than a DMA would).
+func (pl *Pool) Peek(p mmu.PageID) []byte {
+	fr, ok := pl.frames[p]
+	if !ok {
+		return nil
+	}
+	return fr.data
+}
+
+// Touch marks page p most recently used if resident.
+func (pl *Pool) Touch(p mmu.PageID) {
+	if fr, ok := pl.frames[p]; ok {
+		pl.lru.MoveToFront(fr.elem)
+	}
+}
+
+// Put installs data as page p's frame, evicting LRU victims as needed.
+// The pool takes ownership of data. The fiber may stall while victims are
+// written out. Installing a page that is already resident replaces its
+// contents.
+func (pl *Pool) Put(f *sim.Fiber, p mmu.PageID, data []byte) {
+	if fr, ok := pl.frames[p]; ok {
+		fr.data = data
+		pl.lru.MoveToFront(fr.elem)
+		return
+	}
+	pl.reserve(f)
+	fr := &frame{page: p, data: data}
+	fr.elem = pl.lru.PushFront(fr)
+	pl.frames[p] = fr
+}
+
+// reserve frees one slot if the pool is full. Bookkeeping is completed
+// before the eviction callback runs so that reentrant pool operations
+// during the callback's I/O stall see a consistent state.
+func (pl *Pool) reserve(f *sim.Fiber) {
+	if pl.capacity <= 0 {
+		return
+	}
+	for len(pl.frames) >= pl.capacity {
+		victim := pl.pickVictim()
+		if victim == nil {
+			panic(fmt.Sprintf("memfs: all %d frames pinned, cannot evict", len(pl.frames)))
+		}
+		pl.lru.Remove(victim.elem)
+		delete(pl.frames, victim.page)
+		pl.evictions++
+		pl.evict(f, victim.page, victim.data)
+	}
+}
+
+// pickVictim walks from least to most recently used, returning the first
+// evictable frame.
+func (pl *Pool) pickVictim() *frame {
+	for e := pl.lru.Back(); e != nil; e = e.Prev() {
+		fr := e.Value.(*frame)
+		if pl.canEvict == nil || pl.canEvict(fr.page) {
+			return fr
+		}
+	}
+	return nil
+}
+
+// Drop removes page p's frame without running the eviction callback —
+// used when a read copy is invalidated or ownership moves away, where the
+// data is dead.
+func (pl *Pool) Drop(p mmu.PageID) {
+	if fr, ok := pl.frames[p]; ok {
+		pl.lru.Remove(fr.elem)
+		delete(pl.frames, p)
+	}
+}

@@ -1,0 +1,223 @@
+package mmu
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func TestCopysetOperations(t *testing.T) {
+	var c Copyset
+	if !c.Empty() || c.Count() != 0 {
+		t.Fatal("zero copyset not empty")
+	}
+	c = c.Add(3).Add(5).Add(3)
+	if c.Count() != 2 {
+		t.Fatalf("count = %d, want 2", c.Count())
+	}
+	if !c.Has(3) || !c.Has(5) || c.Has(4) {
+		t.Fatal("membership wrong")
+	}
+	c = c.Remove(3)
+	if c.Has(3) || !c.Has(5) {
+		t.Fatal("remove wrong")
+	}
+	m := Copyset(0).Add(0).Add(7).Add(63).Members()
+	if len(m) != 3 || m[0] != 0 || m[1] != 7 || m[2] != 63 {
+		t.Fatalf("members = %v", m)
+	}
+}
+
+func TestPropertyCopysetAddRemove(t *testing.T) {
+	prop := func(ids []uint8) bool {
+		var c Copyset
+		seen := map[ring.NodeID]bool{}
+		for _, raw := range ids {
+			id := ring.NodeID(raw % 64)
+			c = c.Add(id)
+			seen[id] = true
+		}
+		if c.Count() != len(seen) {
+			return false
+		}
+		for id := range seen {
+			if !c.Has(id) {
+				return false
+			}
+			c = c.Remove(id)
+		}
+		return c.Empty()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTableInitialOwnership(t *testing.T) {
+	tab := NewTable(0, 10, 0)
+	for p := PageID(0); p < 10; p++ {
+		e := tab.Entry(p)
+		if !e.IsOwner || e.Access != AccessWrite || e.ProbOwner != 0 {
+			t.Fatalf("default owner's entry %d = %+v", p, *e)
+		}
+	}
+	other := NewTable(3, 10, 0)
+	for p := PageID(0); p < 10; p++ {
+		e := other.Entry(p)
+		if e.IsOwner || e.Access != AccessNil || e.ProbOwner != 0 {
+			t.Fatalf("non-owner's entry %d = %+v", p, *e)
+		}
+	}
+}
+
+func TestEntryOutOfRangePanics(t *testing.T) {
+	tab := NewTable(0, 4, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range entry did not panic")
+		}
+	}()
+	tab.Entry(4)
+}
+
+func TestPageLockSerializesFIFO(t *testing.T) {
+	eng := sim.New(1)
+	tab := NewTable(0, 4, 0)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		eng.Go("f", func(f *sim.Fiber) {
+			f.Sleep(time.Duration(i) * time.Millisecond)
+			tab.Lock(f, 1)
+			order = append(order, i)
+			f.Sleep(10 * time.Millisecond)
+			tab.Unlock(1)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("lock order = %v", order)
+		}
+	}
+	if tab.Locked(1) {
+		t.Fatal("lock still held after all released")
+	}
+}
+
+func TestPageLocksIndependentPerPage(t *testing.T) {
+	eng := sim.New(1)
+	tab := NewTable(0, 4, 0)
+	done := 0
+	for p := PageID(0); p < 4; p++ {
+		p := p
+		eng.Go("f", func(f *sim.Fiber) {
+			tab.Lock(f, p)
+			f.Sleep(10 * time.Millisecond)
+			tab.Unlock(p)
+			done++
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	if eng.Now() != sim.Time(10*time.Millisecond) {
+		t.Fatalf("independent locks serialized: finished at %v", eng.Now())
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	tab := NewTable(0, 4, 0)
+	if !tab.TryLock(2) {
+		t.Fatal("TryLock on free page failed")
+	}
+	if tab.TryLock(2) {
+		t.Fatal("TryLock on held page succeeded")
+	}
+	tab.Unlock(2)
+	if !tab.TryLock(2) {
+		t.Fatal("TryLock after unlock failed")
+	}
+	tab.Unlock(2)
+}
+
+func TestUnlockUnheldPanics(t *testing.T) {
+	tab := NewTable(0, 4, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unlock of unheld page did not panic")
+		}
+	}()
+	tab.Unlock(0)
+}
+
+func TestOwnedPages(t *testing.T) {
+	tab := NewTable(2, 6, 2)
+	tab.Entry(3).IsOwner = false
+	got := tab.OwnedPages()
+	want := []PageID{0, 1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("owned = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("owned = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOwnerTable(t *testing.T) {
+	ot := NewOwnerTable(0, 0)
+	if ot.Owner(5) != 0 {
+		t.Fatal("default owner wrong")
+	}
+	ot.SetOwner(5, 3)
+	if ot.Owner(5) != 3 {
+		t.Fatal("SetOwner not recorded")
+	}
+	if ot.Owner(6) != 0 {
+		t.Fatal("unrelated page affected")
+	}
+}
+
+func TestOwnerTableLockSerializes(t *testing.T) {
+	eng := sim.New(1)
+	ot := NewOwnerTable(0, 0)
+	var order []int
+	for i := 0; i < 2; i++ {
+		i := i
+		eng.Go("f", func(f *sim.Fiber) {
+			f.Sleep(time.Duration(i) * time.Millisecond)
+			ot.Lock(f, 7)
+			order = append(order, i)
+			f.Sleep(5 * time.Millisecond)
+			ot.Unlock(7)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+	if ot.Locked(7) {
+		t.Fatal("still locked")
+	}
+	if eng.Now() != sim.Time(10*time.Millisecond) {
+		t.Fatalf("transfers overlapped: end at %v", eng.Now())
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	if AccessNil.String() != "nil" || AccessRead.String() != "read" || AccessWrite.String() != "write" {
+		t.Fatal("Access strings wrong")
+	}
+}

@@ -1,0 +1,153 @@
+// Package model holds the calibrated cost model for the simulated
+// loosely-coupled multiprocessor: a cluster of 68020-class Apollo
+// workstations on a 12 Mbit/s baseband token ring, as used by the IVY
+// prototype (Li, ICPP 1988).
+//
+// The absolute constants are order-of-magnitude calibrations to the
+// hardware the paper describes; the reproduction's claims are about
+// *shapes* (speedup curves, crossovers, who wins), which depend on cost
+// ratios rather than absolute values. Every experiment takes a Costs
+// value, so sensitivity to the calibration is itself testable.
+package model
+
+import "time"
+
+// Costs parameterizes all virtual-time charges in the simulation.
+type Costs struct {
+	// MemRef is the cost of one shared-virtual-memory reference that hits
+	// local memory with sufficient access rights, including the software
+	// accessor overhead a user-mode system pays. A 68020 at ~2 MIPS with a
+	// few instructions of addressing per reference lands near 2µs.
+	MemRef time.Duration
+
+	// LocalOp is the cost of a short local computation step (a compare,
+	// a floating-point multiply-add on private data, a loop iteration).
+	LocalOp time.Duration
+
+	// FaultTrap is the fixed CPU cost of fielding a page fault and
+	// entering the user-mode handler (trap, decode, dispatch).
+	FaultTrap time.Duration
+
+	// HandlerCPU is the CPU time a node spends servicing one remote
+	// request (unmarshal, table lookups, marshal). The paper stresses
+	// that the user-mode implementation "has a lot of overhead"; a few
+	// hundred microseconds of software path is consistent with its
+	// remote operations costing tens of milliseconds end to end.
+	HandlerCPU time.Duration
+
+	// WireLatency is the fixed per-packet network cost: token wait,
+	// controller, interrupt, and protocol software on both ends.
+	WireLatency time.Duration
+
+	// WireBytePeriod is the transmission time per byte. 12 Mbit/s =
+	// 1.5 MB/s, i.e. ~667ns per byte; a 1 KB page adds ~0.7ms, which is
+	// why the paper observes that large packets are "not much more
+	// expensive" than small ones.
+	WireBytePeriod time.Duration
+
+	// PageCopy is the CPU time to copy one page between a frame and a
+	// message buffer (about 1 KB through a 68020-era memory system),
+	// charged at the serving owner and again when the faulting node
+	// installs the page.
+	PageCopy time.Duration
+
+	// DiskIO is the cost of one page transfer between a node's physical
+	// memory and its paging disk (seek + rotation + transfer on a
+	// late-80s winchester disk).
+	DiskIO time.Duration
+
+	// CtxSwitch is a lightweight-process context switch — "on the order
+	// of a few procedure calls" per the paper.
+	CtxSwitch time.Duration
+
+	// ProcCreate is the cost of creating a lightweight process
+	// ("milliseconds in total" for a whole benchmark's worth, so
+	// sub-millisecond each).
+	ProcCreate time.Duration
+
+	// TestAndSet is an atomic test-and-set on a resident page — "two
+	// 68000 instructions for each locking".
+	TestAndSet time.Duration
+
+	// ComputeQuantum bounds how much accumulated computation a process
+	// charges before yielding the simulated CPU, modelling the points at
+	// which a user-mode system fields network interrupts.
+	ComputeQuantum time.Duration
+}
+
+// Default1988 returns the calibration used for all headline experiments.
+func Default1988() Costs {
+	return Costs{
+		MemRef:         2 * time.Microsecond,
+		LocalOp:        1 * time.Microsecond,
+		FaultTrap:      500 * time.Microsecond,
+		HandlerCPU:     800 * time.Microsecond,
+		WireLatency:    2 * time.Millisecond,
+		WireBytePeriod: 667 * time.Nanosecond,
+		PageCopy:       1500 * time.Microsecond,
+		DiskIO:         25 * time.Millisecond,
+		CtxSwitch:      50 * time.Microsecond,
+		ProcCreate:     500 * time.Microsecond,
+		TestAndSet:     4 * time.Microsecond,
+		ComputeQuantum: 1 * time.Millisecond,
+	}
+}
+
+// SystemMode1988 models the paper's projected system-mode (in-kernel)
+// implementation: "a well-tuned system-mode implementation should
+// improve the performance of remote operations and page moving by a
+// factor of at least two" — the software halves of the fault path are
+// halved, the wire and the disk stay physical.
+func SystemMode1988() Costs {
+	c := Default1988()
+	c.FaultTrap /= 2
+	c.HandlerCPU /= 2
+	c.PageCopy /= 2
+	c.WireLatency /= 2 // protocol software dominates the fixed packet cost
+	return c
+}
+
+// FreeNetwork returns the default calibration with zero communication
+// cost. Figure 6's discussion uses this: merge-split sort is sub-linear
+// "even with no communication costs".
+func FreeNetwork() Costs {
+	c := Default1988()
+	c.WireLatency = 0
+	c.WireBytePeriod = 0
+	c.HandlerCPU = 0
+	c.FaultTrap = 0
+	c.PageCopy = 0
+	return c
+}
+
+// PacketTime returns the wire time for a packet of n payload bytes.
+func (c Costs) PacketTime(n int) time.Duration {
+	return c.WireLatency + time.Duration(n)*c.WireBytePeriod
+}
+
+// Validate reports whether every field is non-negative and the quantum is
+// positive; the engine divides by ComputeQuantum when flushing charges.
+func (c Costs) Validate() error {
+	if c.ComputeQuantum <= 0 {
+		return errNonPositiveQuantum
+	}
+	for _, d := range []time.Duration{
+		c.MemRef, c.LocalOp, c.FaultTrap, c.HandlerCPU, c.WireLatency,
+		c.WireBytePeriod, c.PageCopy, c.DiskIO, c.CtxSwitch, c.ProcCreate,
+		c.TestAndSet,
+	} {
+		if d < 0 {
+			return errNegativeCost
+		}
+	}
+	return nil
+}
+
+var (
+	errNonPositiveQuantum = validationError("model: ComputeQuantum must be positive")
+	errNegativeCost       = validationError("model: cost fields must be non-negative")
+)
+
+type validationError string
+
+func (e validationError) Error() string { return string(e) }

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefault1988Validates(t *testing.T) {
+	if err := Default1988().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := FreeNetwork().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadQuantum(t *testing.T) {
+	c := Default1988()
+	c.ComputeQuantum = 0
+	if c.Validate() == nil {
+		t.Fatal("zero quantum accepted")
+	}
+	c.ComputeQuantum = -time.Millisecond
+	if c.Validate() == nil {
+		t.Fatal("negative quantum accepted")
+	}
+}
+
+func TestValidateRejectsNegativeCosts(t *testing.T) {
+	c := Default1988()
+	c.DiskIO = -1
+	if c.Validate() == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestPacketTimeLinearInSize(t *testing.T) {
+	c := Default1988()
+	t0 := c.PacketTime(0)
+	t100 := c.PacketTime(100)
+	t200 := c.PacketTime(200)
+	if t0 != c.WireLatency {
+		t.Fatalf("empty packet time %v, want the fixed latency %v", t0, c.WireLatency)
+	}
+	if t200-t100 != t100-t0 {
+		t.Fatal("packet time not linear in size")
+	}
+}
+
+func TestWireBandwidthMatchesTwelveMegabit(t *testing.T) {
+	// 12 Mbit/s = 1.5 MB/s: one byte every ~667ns.
+	c := Default1988()
+	perMB := time.Duration(1<<20) * c.WireBytePeriod
+	if perMB < 600*time.Millisecond || perMB > 800*time.Millisecond {
+		t.Fatalf("1 MB transmits in %v; expected ~0.7s at 12 Mbit/s", perMB)
+	}
+}
+
+func TestFreeNetworkZeroesCommunicationOnly(t *testing.T) {
+	c := FreeNetwork()
+	if c.WireLatency != 0 || c.WireBytePeriod != 0 || c.HandlerCPU != 0 ||
+		c.FaultTrap != 0 || c.PageCopy != 0 {
+		t.Fatal("communication costs not zeroed")
+	}
+	if c.MemRef == 0 || c.LocalOp == 0 || c.DiskIO == 0 {
+		t.Fatal("computation/disk costs should be untouched")
+	}
+}
+
+func TestCostOrderingIsPlausible(t *testing.T) {
+	// The calibration's load-bearing ratios: a remote fault costs
+	// thousands of memory references; disk beats the network per page
+	// only slightly; a context switch is "a few procedure calls".
+	c := Default1988()
+	fault := c.FaultTrap + 2*c.WireLatency + c.HandlerCPU + 2*c.PageCopy +
+		1024*c.WireBytePeriod
+	if ratio := float64(fault) / float64(c.MemRef); ratio < 1000 {
+		t.Fatalf("fault/memref ratio %.0f; a remote fault must dwarf a local reference", ratio)
+	}
+	if c.DiskIO < fault {
+		t.Fatalf("disk I/O (%v) cheaper than a remote fault (%v); Figure 4 depends on disk being the slow path", c.DiskIO, fault)
+	}
+	if c.CtxSwitch > 20*c.MemRef*10 {
+		t.Fatalf("context switch %v too expensive for a lightweight process", c.CtxSwitch)
+	}
+}
+
+func TestPropertyPacketTimeMonotone(t *testing.T) {
+	c := Default1988()
+	prop := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return c.PacketTime(x) <= c.PacketTime(y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package ring models the interconnect of the simulated cluster: a
+// baseband, single token ring (12 Mbit/s in the Apollo Domain system IVY
+// ran on). The ring is a shared medium — one packet is on the wire at a
+// time — so transmissions serialize, which is what bounds communication-
+// heavy workloads such as the paper's dot-product benchmark.
+//
+// The model supports point-to-point sends and true broadcast (a single
+// wire transmission seen by every station), plus seeded packet-loss
+// injection so the remote-operation layer's retransmission protocol can be
+// exercised deterministically.
+package ring
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// NodeID identifies a station on the ring. Valid IDs are 0..N-1.
+type NodeID int
+
+// Broadcast is the destination pseudo-ID for packets addressed to every
+// other station.
+const Broadcast NodeID = -1
+
+// Packet is one frame on the ring. Payload is an encoded message from
+// internal/wire; the network only looks at its length.
+type Packet struct {
+	Src     NodeID
+	Dst     NodeID // Broadcast for all stations except Src
+	Payload []byte
+}
+
+// Handler receives delivered packets in engine context. Handlers must not
+// block; long work should be handed to a fiber.
+type Handler func(*Packet)
+
+// Stats aggregates traffic counters for the whole ring.
+type Stats struct {
+	Packets   uint64 // transmissions (a broadcast counts once)
+	Bytes     uint64 // payload bytes transmitted
+	Delivered uint64 // successful per-receiver deliveries
+	Dropped   uint64 // per-receiver losses injected
+	WireBusy  time.Duration
+}
+
+// Network is the simulated token ring.
+type Network struct {
+	eng      *sim.Engine
+	costs    model.Costs
+	handlers []Handler
+	lossProb float64
+
+	// busyUntil serializes the shared medium: a transmission begins when
+	// the wire frees up and the sender's packet reaches the token.
+	busyUntil sim.Time
+
+	stats Stats
+}
+
+// New creates a ring with n stations using the given cost model. Stations
+// must attach handlers with Attach before any packet addressed to them is
+// delivered.
+func New(eng *sim.Engine, costs model.Costs, n int) *Network {
+	if n <= 0 {
+		panic("ring: network needs at least one station")
+	}
+	return &Network{eng: eng, costs: costs, handlers: make([]Handler, n)}
+}
+
+// Size returns the number of stations.
+func (nw *Network) Size() int { return len(nw.handlers) }
+
+// Attach registers the delivery handler for station id.
+func (nw *Network) Attach(id NodeID, h Handler) {
+	nw.handlers[id] = h
+}
+
+// SetLossProbability makes each per-receiver delivery fail independently
+// with probability p, using the engine's seeded random source. Used by
+// tests and failure-injection experiments; the default is 0.
+func (nw *Network) SetLossProbability(p float64) {
+	if p < 0 || p > 1 {
+		panic("ring: loss probability out of range")
+	}
+	nw.lossProb = p
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Send transmits pkt. The sender does not block: the call reserves wire
+// time and schedules delivery; waiting for replies is the caller's
+// protocol concern. Delivery order is deterministic.
+func (nw *Network) Send(pkt *Packet) {
+	if pkt.Src < 0 || int(pkt.Src) >= len(nw.handlers) {
+		panic(fmt.Sprintf("ring: bad source %d", pkt.Src))
+	}
+	if pkt.Dst != Broadcast && (pkt.Dst < 0 || int(pkt.Dst) >= len(nw.handlers)) {
+		panic(fmt.Sprintf("ring: bad destination %d", pkt.Dst))
+	}
+	if pkt.Dst == pkt.Src {
+		panic("ring: packet addressed to its own source")
+	}
+
+	wire := nw.costs.PacketTime(len(pkt.Payload))
+	start := nw.eng.Now()
+	if nw.busyUntil > start {
+		start = nw.busyUntil
+	}
+	end := start.Add(wire)
+	nw.busyUntil = end
+	nw.stats.Packets++
+	nw.stats.Bytes += uint64(len(pkt.Payload))
+	nw.stats.WireBusy += wire
+
+	nw.eng.ScheduleAt(end, func() { nw.deliver(pkt) })
+}
+
+// deliver hands the packet to its receiver(s), applying loss injection
+// per receiver. Runs in engine context at the end of the transmission.
+func (nw *Network) deliver(pkt *Packet) {
+	if pkt.Dst != Broadcast {
+		nw.deliverTo(pkt.Dst, pkt)
+		return
+	}
+	for id := range nw.handlers {
+		if NodeID(id) == pkt.Src {
+			continue
+		}
+		nw.deliverTo(NodeID(id), pkt)
+	}
+}
+
+func (nw *Network) deliverTo(id NodeID, pkt *Packet) {
+	if nw.lossProb > 0 && nw.eng.Rand().Float64() < nw.lossProb {
+		nw.stats.Dropped++
+		return
+	}
+	h := nw.handlers[id]
+	if h == nil {
+		panic(fmt.Sprintf("ring: station %d has no handler attached", id))
+	}
+	nw.stats.Delivered++
+	h(pkt)
+}

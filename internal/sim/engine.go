@@ -1,0 +1,209 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with process-oriented coroutines ("fibers").
+//
+// The engine owns a virtual clock and a priority queue of events. Exactly
+// one unit of work — an event callback or a fiber — executes at any moment,
+// so simulation code never needs locks and every run with the same seed is
+// bit-for-bit reproducible. Fibers are backed by goroutines but are
+// scheduled cooperatively by the engine through a strict handshake: the
+// engine resumes a fiber, then blocks until the fiber yields (by sleeping,
+// parking, or terminating).
+//
+// The IVY reproduction uses one fiber per lightweight process and per
+// in-flight remote-operation handler, and events for timers and message
+// deliveries.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to a duration since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns t expressed in seconds of virtual time.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// event is a scheduled callback. Events with equal time fire in schedule
+// order (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Engine is a discrete-event simulator. Create one with New, add initial
+// work with Schedule or Go, then call Run. An Engine must not be shared
+// between OS threads except through the fiber handshake it manages itself.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Fiber bookkeeping. current is the fiber executing right now (nil
+	// when an event callback is running). parked maps live-but-blocked
+	// fibers to a description of what they wait for, used in deadlock
+	// reports.
+	current *Fiber
+	live    int
+	parked  map[*Fiber]string
+
+	// yielded is the engine side of the fiber handshake: a fiber sends
+	// exactly one value on it every time it gives up control.
+	yielded chan struct{}
+
+	// eventCount counts executed events; fiberSwitches counts fiber
+	// resumptions. Exposed for engine-level tests and tracing.
+	eventCount    uint64
+	fiberSwitches uint64
+
+	// panicMsg carries a fiber panic back to the dispatch loop, which
+	// re-raises it on the engine goroutine.
+	panicMsg string
+}
+
+// New returns an engine whose random source is seeded with seed.
+// The same seed always produces the same simulation.
+func New(seed int64) *Engine {
+	return &Engine{
+		rng:     rand.New(rand.NewSource(seed)),
+		parked:  make(map[*Fiber]string),
+		yielded: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation context (events or fibers).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.eventCount }
+
+// Switches returns the number of fiber resumptions so far.
+func (e *Engine) Switches() uint64 { return e.fiberSwitches }
+
+// Schedule runs fn at time now+d. Scheduling with d <= 0 runs fn as soon
+// as the engine returns to its dispatch loop, still in timestamp order.
+func (e *Engine) Schedule(d time.Duration, fn func()) {
+	e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.heap.push(&event{at: at, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run return after the current event or fiber step completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the event queue is empty
+// and no fiber is runnable, or Stop is called. It returns an error if
+// live fibers remain parked with nothing left to wake them (a deadlock in
+// the simulated system).
+func (e *Engine) Run() error {
+	return e.RunUntil(Time(1<<63 - 1))
+}
+
+// RunUntil is Run with a time horizon: events scheduled after limit are
+// left in the queue and the clock stops at the last executed event.
+func (e *Engine) RunUntil(limit Time) error {
+	if e.current != nil {
+		panic("sim: Run called from inside the simulation")
+	}
+	for !e.stopped {
+		ev := e.heap.pop()
+		if ev == nil {
+			break
+		}
+		if ev.at > limit {
+			// Put it back for a future RunUntil with a later horizon.
+			e.heap.push(ev)
+			break
+		}
+		e.now = ev.at
+		e.eventCount++
+		ev.fn()
+		if e.panicMsg != "" {
+			panic(e.panicMsg)
+		}
+	}
+	if !e.stopped && e.live > 0 && e.heap.len() == 0 {
+		return fmt.Errorf("sim: deadlock at %v: %d fiber(s) parked: %s",
+			e.now, e.live, e.parkedSummary())
+	}
+	return nil
+}
+
+// parkedSummary renders the parked-fiber table for deadlock errors,
+// sorted for stable output.
+func (e *Engine) parkedSummary() string {
+	lines := make([]string, 0, len(e.parked))
+	for f, why := range e.parked {
+		lines = append(lines, fmt.Sprintf("%s (%s)", f.name, why))
+	}
+	sort.Strings(lines)
+	s := ""
+	for i, l := range lines {
+		if i > 0 {
+			s += "; "
+		}
+		s += l
+	}
+	return s
+}
+
+// resumeFiber hands control to f and blocks until f yields. It must be
+// called from the engine's dispatch goroutine (inside an event callback).
+func (e *Engine) resumeFiber(f *Fiber) {
+	if f.done {
+		return
+	}
+	prev := e.current
+	e.current = f
+	delete(e.parked, f)
+	e.fiberSwitches++
+	f.resume <- struct{}{}
+	<-e.yielded
+	e.current = prev
+}
+
+// Current returns the fiber executing right now, or nil when the engine is
+// running a plain event callback.
+func (e *Engine) Current() *Fiber { return e.current }
+
+// Parked returns a sorted description of every live parked fiber — a
+// diagnostic for stuck simulations whose event queues never drain (e.g.
+// because periodic timers keep firing).
+func (e *Engine) Parked() []string {
+	out := make([]string, 0, len(e.parked))
+	for f, why := range e.parked {
+		out = append(out, f.name+" ("+why+")")
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fiber is a process-oriented coroutine scheduled by an Engine. A fiber's
+// body runs on its own goroutine, but the engine guarantees that at most
+// one fiber (or event callback) executes at a time; control transfers
+// through an explicit resume/yield handshake. All Fiber methods except
+// Unpark must be called from within the fiber's own body.
+type Fiber struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+
+	// onExit callbacks run (in engine context) after the body returns.
+	onExit []func()
+}
+
+// Go creates a fiber named name and schedules its body to start at the
+// current virtual time. The body receives the fiber itself so that it can
+// sleep, park, and spawn further work.
+func (e *Engine) Go(name string, body func(f *Fiber)) *Fiber {
+	f := &Fiber{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.live++
+	go func() {
+		// Wait for the first resume before touching any engine state.
+		<-f.resume
+		defer func() {
+			if r := recover(); r != nil {
+				// Re-panic on the engine goroutine so the failure
+				// carries the fiber's identity and stops the run.
+				f.done = true
+				e.live--
+				panicMsg := fmt.Sprintf("sim: fiber %q panicked: %v", f.name, r)
+				e.yieldPanic(panicMsg)
+				return
+			}
+			f.done = true
+			e.live--
+			for i := len(f.onExit) - 1; i >= 0; i-- {
+				f.onExit[i]()
+			}
+			e.yielded <- struct{}{}
+		}()
+		body(f)
+	}()
+	e.Schedule(0, func() { e.resumeFiber(f) })
+	return f
+}
+
+// yieldPanic transfers a fiber panic back to the engine goroutine, which
+// re-panics with the message. Without this, a panicking fiber would kill
+// its own goroutine while the engine blocks forever on e.yielded.
+func (e *Engine) yieldPanic(msg string) {
+	e.panicMsg = msg
+	e.yielded <- struct{}{}
+}
+
+// Name returns the fiber's diagnostic name.
+func (f *Fiber) Name() string { return f.name }
+
+// Engine returns the engine scheduling this fiber.
+func (f *Fiber) Engine() *Engine { return f.eng }
+
+// Done reports whether the fiber body has returned.
+func (f *Fiber) Done() bool { return f.done }
+
+// OnExit registers fn to run in engine context when the fiber terminates.
+// Callbacks run in reverse registration order, like defer.
+func (f *Fiber) OnExit(fn func()) { f.onExit = append(f.onExit, fn) }
+
+// Now returns the current virtual time.
+func (f *Fiber) Now() Time { return f.eng.now }
+
+// yield gives control back to the engine. The fiber must have arranged to
+// be resumed later (via a scheduled event or an Unpark) or it will park
+// forever and eventually surface in a deadlock report.
+func (f *Fiber) yield(why string) {
+	f.eng.parked[f] = why
+	f.eng.yielded <- struct{}{}
+	<-f.resume
+}
+
+// Sleep advances the fiber by d of virtual time. Other events and fibers
+// run in the meantime. Sleeping a non-positive duration yields the
+// processor without advancing the clock.
+func (f *Fiber) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	f.eng.ScheduleAt(f.eng.now.Add(d), func() { f.eng.resumeFiber(f) })
+	f.yield(fmt.Sprintf("sleeping %v", d))
+}
+
+// Park blocks the fiber until some other simulation code calls Unpark.
+// why is shown in deadlock reports.
+func (f *Fiber) Park(why string) {
+	f.yield(why)
+}
+
+// Unpark schedules f to resume at the current virtual time. It must be
+// called from simulation context (another fiber or an event callback),
+// never from the parked fiber itself. Unparking a fiber that is not
+// parked is a bug in the caller and panics via the engine.
+func (f *Fiber) Unpark() {
+	f.eng.ScheduleAt(f.eng.now, func() { f.eng.resumeFiber(f) })
+}
+
+// UnparkAt schedules f to resume at absolute time at.
+func (f *Fiber) UnparkAt(at Time) {
+	f.eng.ScheduleAt(at, func() { f.eng.resumeFiber(f) })
+}

@@ -1,0 +1,62 @@
+package sim
+
+// eventHeap is a binary min-heap of events ordered by (at, seq). A
+// hand-rolled heap (rather than container/heap) avoids the interface
+// boxing on the simulation's hottest path.
+type eventHeap struct {
+	a []*event
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.a[i].at != h.a[j].at {
+		return h.a[i].at < h.a[j].at
+	}
+	return h.a[i].seq < h.a[j].seq
+}
+
+func (h *eventHeap) push(ev *event) {
+	h.a = append(h.a, ev)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	if len(h.a) == 0 {
+		return nil
+	}
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a[last] = nil
+	h.a = h.a[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.a)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && h.less(right, left) {
+			min = right
+		}
+		if !h.less(min, i) {
+			return
+		}
+		h.a[i], h.a[min] = h.a[min], h.a[i]
+		i = min
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+// Queue is an unbounded FIFO of simulation messages with blocking receive.
+// Senders never block; receivers park until an item arrives. Items are
+// delivered in insertion order and waiting receivers are served in arrival
+// order, preserving determinism.
+type Queue[T any] struct {
+	name  string
+	items []T
+	cond  *Cond
+}
+
+// NewQueue creates an empty queue; name appears in deadlock reports.
+func NewQueue[T any](name string) *Queue[T] {
+	return &Queue[T]{name: name, cond: NewCond("queue " + name)}
+}
+
+// Put appends an item and wakes one waiting receiver, if any. It may be
+// called from any simulation context, including event callbacks.
+func (q *Queue[T]) Put(item T) {
+	q.items = append(q.items, item)
+	q.cond.Signal()
+}
+
+// Get removes and returns the oldest item, parking the fiber until one is
+// available.
+func (q *Queue[T]) Get(f *Fiber) T {
+	for len(q.items) == 0 {
+		q.cond.Wait(f)
+	}
+	item := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return item
+}
+
+// TryGet removes and returns the oldest item without blocking; ok reports
+// whether an item was available.
+func (q *Queue[T]) TryGet() (item T, ok bool) {
+	if len(q.items) == 0 {
+		return item, false
+	}
+	item = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return item, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

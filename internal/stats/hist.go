@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Hist is a logarithmic latency histogram (power-of-two buckets from
+// 1µs to ~8.6s). It records the fault-service and operation latencies
+// the original work reported as microbenchmarks.
+type Hist struct {
+	buckets [24]uint64
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Log2(float64(us)))
+	if b >= len(Hist{}.buckets) {
+		b = len(Hist{}.buckets) - 1
+	}
+	return b
+}
+
+// Record adds one observation.
+func (h *Hist) Record(d time.Duration) {
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the average observation.
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest observation.
+func (h *Hist) Max() time.Duration { return h.max }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) from
+// the bucket boundaries.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			bound := time.Duration(1<<uint(i+1)) * time.Microsecond
+			if bound > h.max {
+				bound = h.max
+			}
+			return bound
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's observations into h.
+func (h *Hist) Merge(o Hist) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Render writes a compact percentile summary.
+func (h *Hist) Render(w io.Writer, label string) {
+	if h.count == 0 {
+		fmt.Fprintf(w, "%-18s (no samples)\n", label)
+		return
+	}
+	fmt.Fprintf(w, "%-18s n=%-7d mean=%-10v p50<=%-10v p95<=%-10v max=%v\n",
+		label, h.count, h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// Latency groups the per-node fault-service histograms — the
+// microbenchmark-style numbers (how long a remote read fault takes end
+// to end) that sit outside the subtractable counter block.
+type Latency struct {
+	ReadFault  Hist
+	WriteFault Hist
+	Upgrade    Hist
+}
+
+// Merge combines another node's histograms into l.
+func (l *Latency) Merge(o Latency) {
+	l.ReadFault.Merge(o.ReadFault)
+	l.WriteFault.Merge(o.WriteFault)
+	l.Upgrade.Merge(o.Upgrade)
+}
+
+// Render writes all three summaries.
+func (l *Latency) Render(w io.Writer) {
+	l.ReadFault.Render(w, "read fault")
+	l.WriteFault.Render(w, "write fault")
+	l.Upgrade.Render(w, "write upgrade")
+}

@@ -1,0 +1,185 @@
+// Package stats defines the counters the experiment harness reads: the
+// shared-virtual-memory activity of each node (faults, transfers,
+// invalidations, stall time) and the process-management activity
+// (creations, migrations, load-balancing traffic). The counters are plain
+// fields — the simulation engine is single-threaded — and snapshots are
+// value types that subtract, so per-iteration deltas (Table 1) fall out
+// of two snapshots.
+package stats
+
+import "time"
+
+// SVM counts one node's shared-virtual-memory activity.
+type SVM struct {
+	// Accesses counts non-faulting shared-memory references.
+	ReadAccesses  uint64
+	WriteAccesses uint64
+
+	// Coherence faults that required remote messages.
+	ReadFaults  uint64
+	WriteFaults uint64
+
+	// LocalUpgrades are write faults resolved without an ownership
+	// transfer: the node already owned the page with read access.
+	LocalUpgrades uint64
+
+	// DiskFaults are accesses to owned pages that had been evicted to
+	// the node's own paging disk.
+	DiskFaults uint64
+
+	// FaultRetries counts fault completions discarded because an
+	// invalidation arrived mid-fault (reordered retransmissions).
+	FaultRetries uint64
+
+	// OwnerQueries counts broadcast owner-location fallbacks taken by
+	// fault requests stuck on stale probOwner chains.
+	OwnerQueries uint64
+
+	// Page traffic.
+	PagesSent     uint64
+	PagesReceived uint64
+
+	// Invalidation traffic.
+	InvalSent     uint64
+	InvalReceived uint64
+	StaleInvals   uint64 // invalidations that arrived after this node re-owned the page
+
+	// FaultStall is total virtual time processes spent blocked in fault
+	// service on this node.
+	FaultStall time.Duration
+}
+
+// Proc counts one node's process-management activity.
+type Proc struct {
+	Created       uint64
+	Terminated    uint64
+	CtxSwitches   uint64
+	MigrationsOut uint64
+	MigrationsIn  uint64
+	MigrateReject uint64
+	WorkRequests  uint64
+	Wakeups       uint64 // eventcount wakeups delivered to this node
+}
+
+// Node aggregates one node's counters with the substrate gauges the
+// harness also wants (disk transfers, frame evictions).
+type Node struct {
+	SVM  SVM
+	Proc Proc
+
+	DiskReads  uint64
+	DiskWrites uint64
+	Evictions  uint64
+}
+
+// Sub returns n - o field-wise, for interval deltas.
+func (n Node) Sub(o Node) Node {
+	return Node{
+		SVM: SVM{
+			ReadAccesses:  n.SVM.ReadAccesses - o.SVM.ReadAccesses,
+			WriteAccesses: n.SVM.WriteAccesses - o.SVM.WriteAccesses,
+			ReadFaults:    n.SVM.ReadFaults - o.SVM.ReadFaults,
+			WriteFaults:   n.SVM.WriteFaults - o.SVM.WriteFaults,
+			LocalUpgrades: n.SVM.LocalUpgrades - o.SVM.LocalUpgrades,
+			DiskFaults:    n.SVM.DiskFaults - o.SVM.DiskFaults,
+			FaultRetries:  n.SVM.FaultRetries - o.SVM.FaultRetries,
+			OwnerQueries:  n.SVM.OwnerQueries - o.SVM.OwnerQueries,
+			PagesSent:     n.SVM.PagesSent - o.SVM.PagesSent,
+			PagesReceived: n.SVM.PagesReceived - o.SVM.PagesReceived,
+			InvalSent:     n.SVM.InvalSent - o.SVM.InvalSent,
+			InvalReceived: n.SVM.InvalReceived - o.SVM.InvalReceived,
+			StaleInvals:   n.SVM.StaleInvals - o.SVM.StaleInvals,
+			FaultStall:    n.SVM.FaultStall - o.SVM.FaultStall,
+		},
+		Proc: Proc{
+			Created:       n.Proc.Created - o.Proc.Created,
+			Terminated:    n.Proc.Terminated - o.Proc.Terminated,
+			CtxSwitches:   n.Proc.CtxSwitches - o.Proc.CtxSwitches,
+			MigrationsOut: n.Proc.MigrationsOut - o.Proc.MigrationsOut,
+			MigrationsIn:  n.Proc.MigrationsIn - o.Proc.MigrationsIn,
+			MigrateReject: n.Proc.MigrateReject - o.Proc.MigrateReject,
+			WorkRequests:  n.Proc.WorkRequests - o.Proc.WorkRequests,
+			Wakeups:       n.Proc.Wakeups - o.Proc.Wakeups,
+		},
+		DiskReads:  n.DiskReads - o.DiskReads,
+		DiskWrites: n.DiskWrites - o.DiskWrites,
+		Evictions:  n.Evictions - o.Evictions,
+	}
+}
+
+// DiskTransfers returns the node's total disk page transfers — the
+// quantity Table 1 of the paper reports per iteration.
+func (n Node) DiskTransfers() uint64 { return n.DiskReads + n.DiskWrites }
+
+// Faults returns total coherence faults (read + write, excluding local
+// upgrades and disk faults).
+func (n Node) Faults() uint64 { return n.SVM.ReadFaults + n.SVM.WriteFaults }
+
+// Cluster is a point-in-time view across all nodes.
+type Cluster struct {
+	Nodes []Node
+
+	// Network gauges, cluster-wide.
+	Packets  uint64
+	NetBytes uint64
+	WireBusy time.Duration
+
+	// Remote-operation gauges summed over endpoints.
+	Forwards        uint64
+	Retransmissions uint64
+	Broadcasts      uint64
+}
+
+// Sub returns c - o element-wise. The two snapshots must have the same
+// number of nodes.
+func (c Cluster) Sub(o Cluster) Cluster {
+	if len(c.Nodes) != len(o.Nodes) {
+		panic("stats: snapshot size mismatch")
+	}
+	out := Cluster{
+		Nodes:           make([]Node, len(c.Nodes)),
+		Packets:         c.Packets - o.Packets,
+		NetBytes:        c.NetBytes - o.NetBytes,
+		WireBusy:        c.WireBusy - o.WireBusy,
+		Forwards:        c.Forwards - o.Forwards,
+		Retransmissions: c.Retransmissions - o.Retransmissions,
+		Broadcasts:      c.Broadcasts - o.Broadcasts,
+	}
+	for i := range c.Nodes {
+		out.Nodes[i] = c.Nodes[i].Sub(o.Nodes[i])
+	}
+	return out
+}
+
+// Total returns the field-wise sum over nodes.
+func (c Cluster) Total() Node {
+	var t Node
+	for _, n := range c.Nodes {
+		t.SVM.ReadAccesses += n.SVM.ReadAccesses
+		t.SVM.WriteAccesses += n.SVM.WriteAccesses
+		t.SVM.ReadFaults += n.SVM.ReadFaults
+		t.SVM.WriteFaults += n.SVM.WriteFaults
+		t.SVM.LocalUpgrades += n.SVM.LocalUpgrades
+		t.SVM.DiskFaults += n.SVM.DiskFaults
+		t.SVM.FaultRetries += n.SVM.FaultRetries
+		t.SVM.OwnerQueries += n.SVM.OwnerQueries
+		t.SVM.PagesSent += n.SVM.PagesSent
+		t.SVM.PagesReceived += n.SVM.PagesReceived
+		t.SVM.InvalSent += n.SVM.InvalSent
+		t.SVM.InvalReceived += n.SVM.InvalReceived
+		t.SVM.StaleInvals += n.SVM.StaleInvals
+		t.SVM.FaultStall += n.SVM.FaultStall
+		t.Proc.Created += n.Proc.Created
+		t.Proc.Terminated += n.Proc.Terminated
+		t.Proc.CtxSwitches += n.Proc.CtxSwitches
+		t.Proc.MigrationsOut += n.Proc.MigrationsOut
+		t.Proc.MigrationsIn += n.Proc.MigrationsIn
+		t.Proc.MigrateReject += n.Proc.MigrateReject
+		t.Proc.WorkRequests += n.Proc.WorkRequests
+		t.Proc.Wakeups += n.Proc.Wakeups
+		t.DiskReads += n.DiskReads
+		t.DiskWrites += n.DiskWrites
+		t.Evictions += n.Evictions
+	}
+	return t
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleNode(k uint64) Node {
+	return Node{
+		SVM: SVM{
+			ReadAccesses: 10 * k, WriteAccesses: 9 * k,
+			ReadFaults: 8 * k, WriteFaults: 7 * k,
+			LocalUpgrades: 6 * k, DiskFaults: 5 * k,
+			FaultRetries: k, OwnerQueries: k, PagesSent: 4 * k, PagesReceived: 4 * k,
+			InvalSent: 3 * k, InvalReceived: 3 * k, StaleInvals: k,
+			FaultStall: time.Duration(k) * time.Second,
+		},
+		Proc: Proc{
+			Created: 2 * k, Terminated: 2 * k, CtxSwitches: 5 * k,
+			MigrationsOut: k, MigrationsIn: k, MigrateReject: k,
+			WorkRequests: 2 * k, Wakeups: 3 * k,
+		},
+		DiskReads: 6 * k, DiskWrites: 7 * k, Evictions: 8 * k,
+	}
+}
+
+func TestNodeSubInvertsAdd(t *testing.T) {
+	a, b := sampleNode(5), sampleNode(2)
+	d := a.Sub(b)
+	want := sampleNode(3)
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("Sub wrong:\n got %+v\nwant %+v", d, want)
+	}
+}
+
+func TestNodeDerived(t *testing.T) {
+	n := sampleNode(2)
+	if n.DiskTransfers() != 12+14 {
+		t.Fatalf("DiskTransfers = %d", n.DiskTransfers())
+	}
+	if n.Faults() != 16+14 {
+		t.Fatalf("Faults = %d", n.Faults())
+	}
+}
+
+func TestClusterSubAndTotal(t *testing.T) {
+	a := Cluster{
+		Nodes:   []Node{sampleNode(4), sampleNode(6)},
+		Packets: 100, NetBytes: 1000, WireBusy: time.Second,
+		Forwards: 10, Retransmissions: 5, Broadcasts: 3,
+	}
+	b := Cluster{
+		Nodes:   []Node{sampleNode(1), sampleNode(2)},
+		Packets: 40, NetBytes: 400, WireBusy: 400 * time.Millisecond,
+		Forwards: 4, Retransmissions: 2, Broadcasts: 1,
+	}
+	d := a.Sub(b)
+	if d.Packets != 60 || d.NetBytes != 600 || d.WireBusy != 600*time.Millisecond {
+		t.Fatalf("cluster gauges wrong: %+v", d)
+	}
+	if !reflect.DeepEqual(d.Nodes[0], sampleNode(3)) || !reflect.DeepEqual(d.Nodes[1], sampleNode(4)) {
+		t.Fatal("node deltas wrong")
+	}
+	tot := a.Total()
+	if tot.SVM.ReadFaults != 8*(4+6) {
+		t.Fatalf("total read faults = %d", tot.SVM.ReadFaults)
+	}
+	if tot.Proc.Wakeups != 3*(4+6) {
+		t.Fatalf("total wakeups = %d", tot.Proc.Wakeups)
+	}
+	if tot.DiskReads != 6*10 || tot.Evictions != 8*10 {
+		t.Fatal("total gauges wrong")
+	}
+}
+
+func TestClusterSubSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch accepted")
+		}
+	}()
+	a := Cluster{Nodes: []Node{{}}}
+	b := Cluster{Nodes: []Node{{}, {}}}
+	a.Sub(b)
+}
+
+// Property: (a+b).Sub(b) == a for any counters — i.e. Sub really is
+// field-wise subtraction with no forgotten fields. Catches a new field
+// added to the struct but not to Sub (DeepEqual sees it).
+func TestPropertySubConsistency(t *testing.T) {
+	prop := func(x, y uint16) bool {
+		a, b := sampleNode(uint64(x)), sampleNode(uint64(y))
+		sum := sampleNode(uint64(x) + uint64(y))
+		return reflect.DeepEqual(sum.Sub(b), a) && reflect.DeepEqual(sum.Sub(a), b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubCoversEveryField walks the struct reflectively: subtracting a
+// node from a double of itself must reproduce the node in every numeric
+// field, so a field missed by Sub shows up as a zero.
+func TestSubCoversEveryField(t *testing.T) {
+	one := sampleNode(1)
+	two := sampleNode(2)
+	d := two.Sub(one)
+	checkNonZero(t, reflect.ValueOf(d), "Node")
+}
+
+func checkNonZero(t *testing.T, v reflect.Value, path string) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			checkNonZero(t, v.Field(i), path+"."+v.Type().Field(i).Name)
+		}
+	case reflect.Uint64, reflect.Uint32, reflect.Uint:
+		if v.Uint() == 0 {
+			t.Errorf("%s is zero after Sub — field missing from Sub?", path)
+		}
+	case reflect.Int64, reflect.Int:
+		if v.Int() == 0 {
+			t.Errorf("%s is zero after Sub — field missing from Sub?", path)
+		}
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(10 * time.Millisecond)
+	}
+	h.Record(100 * time.Millisecond)
+	if h.Count() != 101 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if m := h.Mean(); m < 10*time.Millisecond || m > 12*time.Millisecond {
+		t.Fatalf("mean = %v", m)
+	}
+	// p50 bucket bound for 10ms lands within [10ms, 20ms].
+	if q := h.Quantile(0.5); q < 10*time.Millisecond || q > 20*time.Millisecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	// Quantiles never exceed the observed maximum.
+	if q := h.Quantile(1.0); q > h.Max() {
+		t.Fatalf("p100 %v > max %v", q, h.Max())
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	b.Record(5 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 5*time.Millisecond {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+	if a.Mean() != 3*time.Millisecond {
+		t.Fatalf("merged mean = %v", a.Mean())
+	}
+}
+
+func TestLatencyRender(t *testing.T) {
+	var l Latency
+	l.ReadFault.Record(12 * time.Millisecond)
+	var sb stringsBuilder
+	l.Render(&sb)
+	if sb.s == "" {
+		t.Fatal("render produced nothing")
+	}
+}
+
+type stringsBuilder struct{ s string }
+
+func (b *stringsBuilder) Write(p []byte) (int, error) {
+	b.s += string(p)
+	return len(p), nil
+}
+
+// Property: quantiles are monotone in q and bounded by the max.
+func TestPropertyHistQuantileMonotone(t *testing.T) {
+	prop := func(samples []uint16) bool {
+		var h Hist
+		for _, s := range samples {
+			h.Record(time.Duration(s+1) * time.Microsecond)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := time.Duration(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < prev || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Buffer is an append-only encoder for the wire format. All multi-byte
+// integers are little-endian.
+type Buffer struct {
+	b []byte
+}
+
+// NewBuffer returns an empty buffer.
+func NewBuffer() *Buffer { return &Buffer{b: make([]byte, 0, 64)} }
+
+// Bytes returns the encoded contents. The slice aliases the buffer's
+// storage and must not be modified after further Puts.
+func (b *Buffer) Bytes() []byte { return b.b }
+
+// Len returns the number of encoded bytes.
+func (b *Buffer) Len() int { return len(b.b) }
+
+func (b *Buffer) PutU8(v uint8)   { b.b = append(b.b, v) }
+func (b *Buffer) PutBool(v bool)  { b.PutU8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (b *Buffer) PutU16(v uint16) { b.b = binary.LittleEndian.AppendUint16(b.b, v) }
+func (b *Buffer) PutU32(v uint32) { b.b = binary.LittleEndian.AppendUint32(b.b, v) }
+func (b *Buffer) PutU64(v uint64) { b.b = binary.LittleEndian.AppendUint64(b.b, v) }
+func (b *Buffer) PutI64(v int64)  { b.PutU64(uint64(v)) }
+func (b *Buffer) PutF64(v float64) {
+	b.PutU64(math.Float64bits(v))
+}
+
+// PutBytes writes a length-prefixed byte slice (max ~4 GB).
+func (b *Buffer) PutBytes(v []byte) {
+	b.PutU32(uint32(len(v)))
+	b.b = append(b.b, v...)
+}
+
+// PutString writes a length-prefixed string.
+func (b *Buffer) PutString(s string) {
+	b.PutU32(uint32(len(s)))
+	b.b = append(b.b, s...)
+}
+
+// ErrShortBuffer reports a read past the end of the encoded data.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// Reader decodes the wire format with a sticky error: after the first
+// failed read every subsequent read returns a zero value, and Err reports
+// the failure once at the end.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over data.
+func NewReader(data []byte) *Reader { return &Reader{b: data} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = ErrShortBuffer
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *Reader) U8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+func (r *Reader) U16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (r *Reader) U32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (r *Reader) U64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes reads a length-prefixed byte slice, returning a copy.
+func (r *Reader) Bytes() []byte {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	if n > r.Remaining() {
+		r.err = ErrShortBuffer
+		return nil
+	}
+	s := r.take(n)
+	if s == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, s)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	if r.err != nil {
+		return ""
+	}
+	if n > r.Remaining() {
+		r.err = ErrShortBuffer
+		return ""
+	}
+	s := r.take(n)
+	return string(s)
+}

@@ -1,0 +1,388 @@
+package wire
+
+// MaxNodes bounds the cluster size; copysets travel as 64-bit bitmaps.
+// The paper's prototype had 8 processors.
+const MaxNodes = 64
+
+// --- Coherence protocol bodies ---------------------------------------
+
+// ReadFaultReq asks for a read copy of a page. Under the centralized and
+// fixed-distributed managers it is sent to the page's manager, which
+// forwards it to the owner; under the dynamic-distributed manager it is
+// sent along the probOwner chain.
+type ReadFaultReq struct {
+	Page uint32
+}
+
+func (*ReadFaultReq) Kind() Kind         { return KindReadFaultReq }
+func (m *ReadFaultReq) Encode(b *Buffer) { b.PutU32(m.Page) }
+func (m *ReadFaultReq) Decode(r *Reader) error {
+	m.Page = r.U32()
+	return nil
+}
+
+// WriteFaultReq asks for ownership of a page with exclusive (write)
+// access. The reply carries the page and its copyset so the new owner can
+// run the invalidation.
+type WriteFaultReq struct {
+	Page uint32
+}
+
+func (*WriteFaultReq) Kind() Kind         { return KindWriteFaultReq }
+func (m *WriteFaultReq) Encode(b *Buffer) { b.PutU32(m.Page) }
+func (m *WriteFaultReq) Decode(r *Reader) error {
+	m.Page = r.U32()
+	return nil
+}
+
+// PageReadReply delivers a read copy of a page from its owner.
+type PageReadReply struct {
+	Page  uint32
+	Owner uint16 // the replying owner, so the faulter can update probOwner
+	Data  []byte
+}
+
+func (*PageReadReply) Kind() Kind { return KindPageReadReply }
+func (m *PageReadReply) Encode(b *Buffer) {
+	b.PutU32(m.Page)
+	b.PutU16(m.Owner)
+	b.PutBytes(m.Data)
+}
+func (m *PageReadReply) Decode(r *Reader) error {
+	m.Page = r.U32()
+	m.Owner = r.U16()
+	m.Data = r.Bytes()
+	return nil
+}
+
+// PageWriteReply transfers a page, its copyset, and its ownership to a
+// write-faulting node.
+type PageWriteReply struct {
+	Page    uint32
+	Copyset uint64 // bitmap of nodes holding read copies to invalidate
+	Data    []byte
+}
+
+func (*PageWriteReply) Kind() Kind { return KindPageWriteReply }
+func (m *PageWriteReply) Encode(b *Buffer) {
+	b.PutU32(m.Page)
+	b.PutU64(m.Copyset)
+	b.PutBytes(m.Data)
+}
+func (m *PageWriteReply) Decode(r *Reader) error {
+	m.Page = r.U32()
+	m.Copyset = r.U64()
+	m.Data = r.Bytes()
+	return nil
+}
+
+// InvalidateReq tells a node to drop its read copy of a page. NewOwner
+// lets the receiver update its probOwner hint, as the dynamic distributed
+// manager algorithm requires.
+type InvalidateReq struct {
+	Page     uint32
+	NewOwner uint16
+}
+
+func (*InvalidateReq) Kind() Kind { return KindInvalidateReq }
+func (m *InvalidateReq) Encode(b *Buffer) {
+	b.PutU32(m.Page)
+	b.PutU16(m.NewOwner)
+}
+func (m *InvalidateReq) Decode(r *Reader) error {
+	m.Page = r.U32()
+	m.NewOwner = r.U16()
+	return nil
+}
+
+// InvalidateAck confirms an invalidation.
+type InvalidateAck struct {
+	Page uint32
+}
+
+func (*InvalidateAck) Kind() Kind         { return KindInvalidateAck }
+func (m *InvalidateAck) Encode(b *Buffer) { b.PutU32(m.Page) }
+func (m *InvalidateAck) Decode(r *Reader) error {
+	m.Page = r.U32()
+	return nil
+}
+
+// MgrConfirm tells a page's manager that an ownership transfer finished,
+// unlocking the page entry for the next fault (improved centralized and
+// fixed distributed manager algorithms). Migration marks confirmations
+// sent by process migration's bulk stack-page ownership transfer, which
+// updates the directory without an in-flight fault to unlock.
+type MgrConfirm struct {
+	Page      uint32
+	NewOwner  uint16
+	Migration bool
+}
+
+func (*MgrConfirm) Kind() Kind { return KindMgrConfirm }
+func (m *MgrConfirm) Encode(b *Buffer) {
+	b.PutU32(m.Page)
+	b.PutU16(m.NewOwner)
+	b.PutBool(m.Migration)
+}
+func (m *MgrConfirm) Decode(r *Reader) error {
+	m.Page = r.U32()
+	m.NewOwner = r.U16()
+	m.Migration = r.Bool()
+	return nil
+}
+
+// --- Process management bodies ---------------------------------------
+
+// MigrateReq carries a process to another node: the encoded PCB, the
+// contents of the current stack page (copied so the destination's
+// dispatcher does not immediately page-fault), and the page numbers of
+// the upper stack pages whose ownership transfers without data movement.
+type MigrateReq struct {
+	PCB        []byte
+	StackPage  uint32
+	StackData  []byte
+	UpperPages []uint32
+}
+
+func (*MigrateReq) Kind() Kind { return KindMigrateReq }
+func (m *MigrateReq) Encode(b *Buffer) {
+	b.PutBytes(m.PCB)
+	b.PutU32(m.StackPage)
+	b.PutBytes(m.StackData)
+	b.PutU32(uint32(len(m.UpperPages)))
+	for _, p := range m.UpperPages {
+		b.PutU32(p)
+	}
+}
+func (m *MigrateReq) Decode(r *Reader) error {
+	m.PCB = r.Bytes()
+	m.StackPage = r.U32()
+	m.StackData = r.Bytes()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil
+	}
+	if n > r.Remaining()/4 {
+		return ErrShortBuffer
+	}
+	m.UpperPages = make([]uint32, n)
+	for i := range m.UpperPages {
+		m.UpperPages[i] = r.U32()
+	}
+	return nil
+}
+
+// MigrateAccept confirms a migration; the process is now on the
+// destination's ready queue.
+type MigrateAccept struct{}
+
+func (*MigrateAccept) Kind() Kind           { return KindMigrateAccept }
+func (*MigrateAccept) Encode(*Buffer)       {}
+func (*MigrateAccept) Decode(*Reader) error { return nil }
+
+// MigrateReject refuses a migration.
+type MigrateReject struct {
+	Reason uint8
+}
+
+// Migration rejection reasons.
+const (
+	RejectBusy      uint8 = iota + 1 // destination over its own threshold
+	RejectNoProcess                  // nothing migratable to send back
+)
+
+func (*MigrateReject) Kind() Kind         { return KindMigrateReject }
+func (m *MigrateReject) Encode(b *Buffer) { b.PutU8(m.Reason) }
+func (m *MigrateReject) Decode(r *Reader) error {
+	m.Reason = r.U8()
+	return nil
+}
+
+// WorkReq is an idle node asking a (hinted) loaded node for a process.
+type WorkReq struct {
+	Load uint8 // requester's current process count
+}
+
+func (*WorkReq) Kind() Kind         { return KindWorkReq }
+func (m *WorkReq) Encode(b *Buffer) { b.PutU8(m.Load) }
+func (m *WorkReq) Decode(r *Reader) error {
+	m.Load = r.U8()
+	return nil
+}
+
+// WorkReply answers a WorkReq. When Granted, the replying node will
+// follow up with a MigrateReq addressed to the requester.
+type WorkReply struct {
+	Granted bool
+}
+
+func (*WorkReply) Kind() Kind         { return KindWorkReply }
+func (m *WorkReply) Encode(b *Buffer) { b.PutBool(m.Granted) }
+func (m *WorkReply) Decode(r *Reader) error {
+	m.Granted = r.Bool()
+	return nil
+}
+
+// ResumeReq resumes a suspended process identified by its PCB address on
+// the destination node (a PID in IVY is the pair processor/PCB-address).
+type ResumeReq struct {
+	PCBAddr uint64
+}
+
+func (*ResumeReq) Kind() Kind         { return KindResumeReq }
+func (m *ResumeReq) Encode(b *Buffer) { b.PutU64(m.PCBAddr) }
+func (m *ResumeReq) Decode(r *Reader) error {
+	m.PCBAddr = r.U64()
+	return nil
+}
+
+// NotifyReq wakes a process waiting on an eventcount whose Advance ran on
+// another node.
+type NotifyReq struct {
+	PCBAddr uint64
+	ECAddr  uint64 // the eventcount, for cross-checking
+	Value   int64  // the eventcount value at advance time
+}
+
+func (*NotifyReq) Kind() Kind { return KindNotifyReq }
+func (m *NotifyReq) Encode(b *Buffer) {
+	b.PutU64(m.PCBAddr)
+	b.PutU64(m.ECAddr)
+	b.PutI64(m.Value)
+}
+func (m *NotifyReq) Decode(r *Reader) error {
+	m.PCBAddr = r.U64()
+	m.ECAddr = r.U64()
+	m.Value = r.I64()
+	return nil
+}
+
+// --- Memory allocation bodies ----------------------------------------
+
+// AllocReq asks the central memory manager for a block of shared memory.
+type AllocReq struct {
+	Size uint64
+}
+
+func (*AllocReq) Kind() Kind         { return KindAllocReq }
+func (m *AllocReq) Encode(b *Buffer) { b.PutU64(m.Size) }
+func (m *AllocReq) Decode(r *Reader) error {
+	m.Size = r.U64()
+	return nil
+}
+
+// AllocReply returns the allocated base address.
+type AllocReply struct {
+	Addr uint64
+	OK   bool
+}
+
+func (*AllocReply) Kind() Kind { return KindAllocReply }
+func (m *AllocReply) Encode(b *Buffer) {
+	b.PutU64(m.Addr)
+	b.PutBool(m.OK)
+}
+func (m *AllocReply) Decode(r *Reader) error {
+	m.Addr = r.U64()
+	m.OK = r.Bool()
+	return nil
+}
+
+// FreeReq releases a block previously returned by AllocReply.
+type FreeReq struct {
+	Addr uint64
+}
+
+func (*FreeReq) Kind() Kind         { return KindFreeReq }
+func (m *FreeReq) Encode(b *Buffer) { b.PutU64(m.Addr) }
+func (m *FreeReq) Decode(r *Reader) error {
+	m.Addr = r.U64()
+	return nil
+}
+
+// FreeReply confirms a free.
+type FreeReply struct {
+	OK bool
+}
+
+func (*FreeReply) Kind() Kind         { return KindFreeReply }
+func (m *FreeReply) Encode(b *Buffer) { b.PutBool(m.OK) }
+func (m *FreeReply) Decode(r *Reader) error {
+	m.OK = r.Bool()
+	return nil
+}
+
+// --- Remote operation layer ------------------------------------------
+
+// Ping is a liveness and latency probe.
+type Ping struct {
+	Payload []byte
+}
+
+func (*Ping) Kind() Kind         { return KindPing }
+func (m *Ping) Encode(b *Buffer) { b.PutBytes(m.Payload) }
+func (m *Ping) Decode(r *Reader) error {
+	m.Payload = r.Bytes()
+	return nil
+}
+
+// PCBProbe asks whether a PCB handle is still live at its (chased)
+// destination; the forwarding-pointer garbage collector reclaims slots
+// whose processes have terminated. Live is meaningful in the reply.
+type PCBProbe struct {
+	Handle uint64
+	Live   bool
+}
+
+func (*PCBProbe) Kind() Kind { return KindPCBProbe }
+func (m *PCBProbe) Encode(b *Buffer) {
+	b.PutU64(m.Handle)
+	b.PutBool(m.Live)
+}
+func (m *PCBProbe) Decode(r *Reader) error {
+	m.Handle = r.U64()
+	m.Live = r.Bool()
+	return nil
+}
+
+// OwnerQuery asks (by broadcast, reply-from-any) which node currently
+// owns a page. Owner is meaningful in the reply.
+type OwnerQuery struct {
+	Page  uint32
+	Owner uint16
+}
+
+func (*OwnerQuery) Kind() Kind { return KindOwnerQuery }
+func (m *OwnerQuery) Encode(b *Buffer) {
+	b.PutU32(m.Page)
+	b.PutU16(m.Owner)
+}
+func (m *OwnerQuery) Decode(r *Reader) error {
+	m.Page = r.U32()
+	m.Owner = r.U16()
+	return nil
+}
+
+func init() {
+	Register(KindReadFaultReq, func() Msg { return new(ReadFaultReq) })
+	Register(KindWriteFaultReq, func() Msg { return new(WriteFaultReq) })
+	Register(KindPageReadReply, func() Msg { return new(PageReadReply) })
+	Register(KindPageWriteReply, func() Msg { return new(PageWriteReply) })
+	Register(KindInvalidateReq, func() Msg { return new(InvalidateReq) })
+	Register(KindInvalidateAck, func() Msg { return new(InvalidateAck) })
+	Register(KindMgrConfirm, func() Msg { return new(MgrConfirm) })
+	Register(KindMigrateReq, func() Msg { return new(MigrateReq) })
+	Register(KindMigrateAccept, func() Msg { return new(MigrateAccept) })
+	Register(KindMigrateReject, func() Msg { return new(MigrateReject) })
+	Register(KindWorkReq, func() Msg { return new(WorkReq) })
+	Register(KindWorkReply, func() Msg { return new(WorkReply) })
+	Register(KindResumeReq, func() Msg { return new(ResumeReq) })
+	Register(KindNotifyReq, func() Msg { return new(NotifyReq) })
+	Register(KindAllocReq, func() Msg { return new(AllocReq) })
+	Register(KindAllocReply, func() Msg { return new(AllocReply) })
+	Register(KindFreeReq, func() Msg { return new(FreeReq) })
+	Register(KindFreeReply, func() Msg { return new(FreeReply) })
+	Register(KindPing, func() Msg { return new(Ping) })
+	Register(KindPCBProbe, func() Msg { return new(PCBProbe) })
+	Register(KindOwnerQuery, func() Msg { return new(OwnerQuery) })
+}

@@ -1,0 +1,295 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferRoundTripScalars(t *testing.T) {
+	b := NewBuffer()
+	b.PutU8(0xab)
+	b.PutBool(true)
+	b.PutBool(false)
+	b.PutU16(0x1234)
+	b.PutU32(0xdeadbeef)
+	b.PutU64(0x0123456789abcdef)
+	b.PutI64(-42)
+	b.PutF64(math.Pi)
+	b.PutBytes([]byte{1, 2, 3})
+	b.PutString("hello")
+
+	r := NewReader(b.Bytes())
+	if v := r.U8(); v != 0xab {
+		t.Errorf("U8 = %x", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if v := r.U16(); v != 0x1234 {
+		t.Errorf("U16 = %x", v)
+	}
+	if v := r.U32(); v != 0xdeadbeef {
+		t.Errorf("U32 = %x", v)
+	}
+	if v := r.U64(); v != 0x0123456789abcdef {
+		t.Errorf("U64 = %x", v)
+	}
+	if v := r.I64(); v != -42 {
+		t.Errorf("I64 = %d", v)
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Errorf("F64 = %v", v)
+	}
+	if v := r.Bytes(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", v)
+	}
+	if v := r.String(); v != "hello" {
+		t.Errorf("String = %q", v)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	_ = r.U32() // short
+	if r.Err() == nil {
+		t.Fatal("short read did not set error")
+	}
+	if v := r.U8(); v != 0 {
+		t.Fatalf("read after error returned %d, want 0", v)
+	}
+}
+
+func TestReaderBytesLengthLies(t *testing.T) {
+	b := NewBuffer()
+	b.PutU32(1 << 30) // claims a gigabyte follows
+	r := NewReader(b.Bytes())
+	if r.Bytes() != nil || r.Err() == nil {
+		t.Fatal("oversized length prefix not rejected")
+	}
+}
+
+// allBodies returns one populated instance of every message type.
+func allBodies() []Msg {
+	return []Msg{
+		&ReadFaultReq{Page: 7},
+		&WriteFaultReq{Page: 9},
+		&PageReadReply{Page: 7, Owner: 3, Data: []byte{1, 2, 3, 4}},
+		&PageWriteReply{Page: 9, Copyset: 0b1011, Data: make([]byte, 1024)},
+		&InvalidateReq{Page: 5, NewOwner: 2},
+		&InvalidateAck{Page: 5},
+		&MgrConfirm{Page: 9, NewOwner: 4},
+		&MigrateReq{PCB: []byte{9, 8}, StackPage: 12, StackData: []byte{1}, UpperPages: []uint32{13, 14}},
+		&MigrateAccept{},
+		&MigrateReject{Reason: RejectBusy},
+		&WorkReq{Load: 3},
+		&WorkReply{Granted: true},
+		&ResumeReq{PCBAddr: 0xfeed},
+		&NotifyReq{PCBAddr: 0xbeef, ECAddr: 0x1000, Value: 17},
+		&AllocReq{Size: 4096},
+		&AllocReply{Addr: 0x80000000, OK: true},
+		&FreeReq{Addr: 0x80000000},
+		&FreeReply{OK: true},
+		&Ping{Payload: []byte("ping")},
+		&PCBProbe{Handle: 0x1234, Live: true},
+	}
+}
+
+func TestEnvelopeRoundTripAllKinds(t *testing.T) {
+	for _, body := range allBodies() {
+		env := &Envelope{
+			ReqID:    123,
+			Origin:   1,
+			Sender:   2,
+			Flags:    FlagRequest | FlagForwarded,
+			LoadHint: 5,
+			Body:     body,
+		}
+		data := env.Marshal()
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%v: %v", body.Kind(), err)
+		}
+		if got.ReqID != env.ReqID || got.Origin != env.Origin ||
+			got.Sender != env.Sender || got.Flags != env.Flags ||
+			got.LoadHint != env.LoadHint {
+			t.Fatalf("%v: header mismatch: %+v vs %+v", body.Kind(), got, env)
+		}
+		if !reflect.DeepEqual(normalize(got.Body), normalize(env.Body)) {
+			t.Fatalf("%v: body mismatch:\n got %+v\nwant %+v", body.Kind(), got.Body, env.Body)
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form so DeepEqual
+// compares semantic content.
+func normalize(m Msg) Msg {
+	switch v := m.(type) {
+	case *PageReadReply:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+	case *PageWriteReply:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+	case *MigrateReq:
+		if len(v.PCB) == 0 {
+			v.PCB = nil
+		}
+		if len(v.StackData) == 0 {
+			v.StackData = nil
+		}
+		if len(v.UpperPages) == 0 {
+			v.UpperPages = nil
+		}
+	case *Ping:
+		if len(v.Payload) == 0 {
+			v.Payload = nil
+		}
+	}
+	return m
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0xff},                              // unknown kind, short header
+		{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},   // KindInvalid
+		{200, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // out-of-range kind
+	}
+	for _, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Fatalf("Unmarshal(%v) accepted garbage", data)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailingBytes(t *testing.T) {
+	env := &Envelope{Body: &Ping{}}
+	data := append(env.Marshal(), 0x00)
+	if _, err := Unmarshal(data); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestUnmarshalRejectsTruncatedBody(t *testing.T) {
+	env := &Envelope{Body: &PageReadReply{Page: 1, Data: make([]byte, 100)}}
+	data := env.Marshal()
+	if _, err := Unmarshal(data[:len(data)-10]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(KindPing, func() Msg { return new(Ping) })
+}
+
+func TestKindString(t *testing.T) {
+	if KindPing.String() != "Ping" {
+		t.Fatalf("KindPing.String() = %q", KindPing.String())
+	}
+	if got := Kind(250).String(); got != "Kind(250)" {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}
+
+func TestEnvelopeFlagHelpers(t *testing.T) {
+	e := &Envelope{Flags: FlagRequest}
+	if !e.IsRequest() || e.IsReply() {
+		t.Fatal("flag helpers wrong for request")
+	}
+	e.Flags = FlagReply
+	if e.IsRequest() || !e.IsReply() {
+		t.Fatal("flag helpers wrong for reply")
+	}
+}
+
+// Property: Marshal/Unmarshal round-trips arbitrary page-reply payloads.
+func TestPropertyPageReplyRoundTrip(t *testing.T) {
+	prop := func(page uint32, owner uint16, data []byte) bool {
+		env := &Envelope{
+			ReqID: 1,
+			Flags: FlagReply,
+			Body:  &PageReadReply{Page: page, Owner: owner, Data: data},
+		}
+		got, err := Unmarshal(env.Marshal())
+		if err != nil {
+			return false
+		}
+		body := got.Body.(*PageReadReply)
+		return body.Page == page && body.Owner == owner && bytes.Equal(body.Data, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary Migrate bodies round-trip exactly.
+func TestPropertyMigrateRoundTrip(t *testing.T) {
+	prop := func(pcb []byte, page uint32, stack []byte, upper []uint32) bool {
+		env := &Envelope{Flags: FlagRequest, Body: &MigrateReq{
+			PCB: pcb, StackPage: page, StackData: stack, UpperPages: upper,
+		}}
+		got, err := Unmarshal(env.Marshal())
+		if err != nil {
+			return false
+		}
+		b := got.Body.(*MigrateReq)
+		if !bytes.Equal(b.PCB, pcb) || b.StackPage != page || !bytes.Equal(b.StackData, stack) {
+			return false
+		}
+		if len(b.UpperPages) != len(upper) {
+			return false
+		}
+		for i := range upper {
+			if b.UpperPages[i] != upper[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random byte strings never panic the decoder; they either
+// decode or return an error.
+func TestPropertyUnmarshalNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodedSizeIsCompact(t *testing.T) {
+	// A page transfer's wire size should be dominated by the page data:
+	// header + metadata under 32 bytes for a 1 KB page.
+	env := &Envelope{Body: &PageReadReply{Page: 1, Owner: 2, Data: make([]byte, 1024)}}
+	if n := len(env.Marshal()); n > 1024+32 {
+		t.Fatalf("1KB page encodes to %d bytes; envelope overhead too large", n)
+	}
+}

@@ -1,0 +1,299 @@
+package ivy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSingleNodeHelloWorld(t *testing.T) {
+	c := New(Config{Processors: 1, Seed: 1})
+	var got float64
+	err := c.Run(func(p *Proc) {
+		addr := p.MustMalloc(1024)
+		p.WriteF64(addr, 2.5)
+		got = p.ReadF64(addr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Fatalf("got %v", got)
+	}
+	if c.Elapsed() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestParallelSharedSum(t *testing.T) {
+	// The quickstart pattern: N workers fill slots, main sums them.
+	const n = 4
+	c := New(Config{Processors: n, Seed: 1})
+	var sum float64
+	err := c.Run(func(p *Proc) {
+		data := p.MustMalloc(8 * n)
+		done := p.NewEventcount(n + 1)
+		for i := 0; i < n; i++ {
+			i := i
+			p.CreateOn(i, func(q *Proc) {
+				if q.NodeID() != i {
+					t.Errorf("worker %d on node %d", i, q.NodeID())
+				}
+				q.WriteF64(data+uint64(8*i), float64(i+1))
+				done.Advance(q)
+			}, WithName(fmt.Sprintf("w%d", i)))
+		}
+		done.Wait(p, n)
+		for i := 0; i < n; i++ {
+			sum += p.ReadF64(data + uint64(8*i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 10 {
+		t.Fatalf("sum = %v, want 10", sum)
+	}
+}
+
+func TestRunDetectsRunaway(t *testing.T) {
+	c := New(Config{Processors: 1, Seed: 1, Horizon: time.Second})
+	err := c.Run(func(p *Proc) {
+		for {
+			p.Sleep(time.Minute)
+		}
+	})
+	if err == nil {
+		t.Fatal("runaway program did not fail")
+	}
+}
+
+func TestSpeedupIsRealOnEmbarrassinglyParallelWork(t *testing.T) {
+	// Independent compute on P processors must take ~1/P the virtual
+	// time — the basic sanity behind every speedup curve.
+	elapsed := map[int]time.Duration{}
+	for _, procs := range []int{1, 4} {
+		c := New(Config{Processors: procs, Seed: 1})
+		err := c.Run(func(p *Proc) {
+			done := p.NewEventcount(procs + 1)
+			for i := 0; i < procs; i++ {
+				i := i
+				p.CreateOn(i, func(q *Proc) {
+					q.Compute(10 * time.Second / time.Duration(procs))
+					done.Advance(q)
+				})
+			}
+			done.Wait(p, int64(procs))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed[procs] = c.Elapsed()
+	}
+	speedup := float64(elapsed[1]) / float64(elapsed[4])
+	if speedup < 3.2 || speedup > 4.2 {
+		t.Fatalf("speedup on independent work = %.2f (t1=%v t4=%v), want ~4",
+			speedup, elapsed[1], elapsed[4])
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (time.Duration, uint64) {
+		c := New(Config{Processors: 3, Seed: 42})
+		_ = c.Run(func(p *Proc) {
+			data := p.MustMalloc(4096)
+			done := p.NewEventcount(8)
+			for i := 0; i < 3; i++ {
+				i := i
+				p.CreateOn(i, func(q *Proc) {
+					for k := 0; k < 20; k++ {
+						q.WriteU64(data+uint64(8*((i+k)%16)), uint64(k))
+					}
+					done.Advance(q)
+				})
+			}
+			done.Wait(p, 3)
+		})
+		s := c.Snapshot()
+		return c.Elapsed(), s.Packets
+	}
+	e1, p1 := run()
+	e2, p2 := run()
+	if e1 != e2 || p1 != p2 {
+		t.Fatalf("same-seed runs diverged: %v/%d vs %v/%d", e1, p1, e2, p2)
+	}
+}
+
+func TestLockMutualExclusionAcrossCluster(t *testing.T) {
+	const n = 4
+	c := New(Config{Processors: n, Seed: 1})
+	var final uint64
+	err := c.Run(func(p *Proc) {
+		counter := p.MustMalloc(8)
+		lock := p.NewLock()
+		done := p.NewEventcount(n + 1)
+		for i := 0; i < n; i++ {
+			i := i
+			p.CreateOn(i, func(q *Proc) {
+				for k := 0; k < 5; k++ {
+					lock.Acquire(q)
+					v := q.ReadU64(counter)
+					q.Compute(time.Millisecond)
+					q.WriteU64(counter, v+1)
+					lock.Release(q)
+				}
+				done.Advance(q)
+			})
+		}
+		done.Wait(p, n)
+		final = p.ReadU64(counter)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 5*n {
+		t.Fatalf("counter = %d, want %d", final, 5*n)
+	}
+}
+
+func TestSnapshotDeltas(t *testing.T) {
+	c := New(Config{Processors: 2, Seed: 1})
+	var before, after ClusterStats
+	err := c.Run(func(p *Proc) {
+		data := p.MustMalloc(1024)
+		p.WriteU64(data, 1)
+		before = c.Snapshot()
+		done := p.NewEventcount(4)
+		p.CreateOn(1, func(q *Proc) {
+			_ = q.ReadU64(data) // one coherence read fault
+			done.Advance(q)
+		})
+		done.Wait(p, 1)
+		after = c.Snapshot()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := after.Sub(before)
+	if d.Nodes[1].SVM.ReadFaults == 0 {
+		t.Fatal("delta lost the read fault")
+	}
+	if d.Packets == 0 {
+		t.Fatal("delta lost network traffic")
+	}
+}
+
+func TestLoadBalancingEndToEnd(t *testing.T) {
+	// Create everything on node 0 with system scheduling; the balancer
+	// must spread compute across 4 nodes for near-4x speedup.
+	elapsed := map[int]time.Duration{}
+	for _, procs := range []int{1, 4} {
+		bal := DefaultBalance()
+		c := New(Config{Processors: procs, Seed: 7, Balance: &bal})
+		err := c.Run(func(p *Proc) {
+			done := p.NewEventcount(32)
+			const workers = 8
+			for i := 0; i < workers; i++ {
+				p.Create(func(q *Proc) {
+					q.Compute(2 * time.Second)
+					done.Advance(q)
+				}, WithName(fmt.Sprintf("w%d", i)))
+			}
+			done.Wait(p, workers)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed[procs] = c.Elapsed()
+	}
+	speedup := float64(elapsed[1]) / float64(elapsed[4])
+	if speedup < 2.0 {
+		t.Fatalf("load-balanced speedup = %.2f (t1=%v t4=%v); balancer not spreading work",
+			speedup, elapsed[1], elapsed[4])
+	}
+}
+
+func TestMemoryPressureEndToEnd(t *testing.T) {
+	// Constrained frames force disk traffic on one node; a second node's
+	// memory relieves it — the Figure 4 mechanism in miniature.
+	transfers := map[int]uint64{}
+	elapsed := map[int]time.Duration{}
+	for _, procs := range []int{1, 2} {
+		c := New(Config{Processors: procs, Seed: 1, MemoryPages: 64, SharedPages: 512})
+		err := c.Run(func(p *Proc) {
+			// 96 pages of data > 64 frames on one node.
+			data := p.MustMalloc(96 * 1024)
+			done := p.NewEventcount(8)
+			for w := 0; w < procs; w++ {
+				w := w
+				p.CreateOn(w, func(q *Proc) {
+					// Each worker sweeps its half (or all, for 1 proc).
+					span := 96 / procs
+					for iter := 0; iter < 3; iter++ {
+						for pg := w * span; pg < (w+1)*span; pg++ {
+							addr := data + uint64(pg*1024)
+							q.WriteU64(addr, q.ReadU64(addr)+1)
+						}
+					}
+					done.Advance(q)
+				})
+			}
+			done.Wait(p, int64(procs))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transfers[procs] = c.Snapshot().Total().DiskTransfers()
+		elapsed[procs] = c.Elapsed()
+	}
+	if transfers[1] == 0 {
+		t.Fatal("one-node run did not thrash")
+	}
+	if transfers[2] >= transfers[1] {
+		t.Fatalf("two-node disk transfers %d >= one-node %d; combined memory not helping",
+			transfers[2], transfers[1])
+	}
+	if elapsed[2] >= elapsed[1] {
+		t.Fatalf("no speedup from relieved memory pressure: %v vs %v", elapsed[2], elapsed[1])
+	}
+}
+
+func TestPageTraceObservesCoherenceLifecycle(t *testing.T) {
+	c := New(Config{Processors: 2, Seed: 1})
+	var sites []string
+	var addr uint64
+	err := func() error {
+		// Allocate first so we know the page, then install the tracer
+		// via a fixed address: allocation is deterministic, so the first
+		// Malloc lands at the base of the shared space.
+		c.SetPageTrace(c.Base(), func(ev PageEvent) {
+			sites = append(sites, ev.Site)
+		})
+		return c.Run(func(p *Proc) {
+			addr = p.MustMalloc(8)
+			if addr != c.Base() {
+				t.Errorf("first allocation at %#x, want base %#x", addr, c.Base())
+			}
+			p.WriteU64(addr, 1)
+			done := p.NewEventcount(4)
+			p.CreateOn(1, func(q *Proc) {
+				_ = q.ReadU64(addr) // remote read fault
+				q.WriteU64(addr, 2) // upgrade-to-ownership
+				done.Advance(q)
+			})
+			done.Wait(p, 1)
+		})
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, s := range sites {
+		want[s] = true
+	}
+	for _, s := range []string{"readFault>", "readFault<", "serveRead", "writeFault>", "writeFault<", "serveWrite"} {
+		if !want[s] {
+			t.Errorf("trace missing site %q (got %v)", s, sites)
+		}
+	}
+}
