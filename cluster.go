@@ -3,6 +3,7 @@ package ivy
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/alloc"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -30,6 +32,12 @@ type Cluster struct {
 	procs   *proc.Cluster
 	elapsed sim.Time
 	ran     bool
+
+	// Tracing state; all nil/zero unless StartTrace (or Config.Trace)
+	// enabled it.
+	tr        *trace.Collector
+	traceW    io.Writer
+	sampleIvl time.Duration
 }
 
 // New assembles a cluster from cfg.
@@ -84,8 +92,46 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.Processors; i++ {
 		nodes[i] = c.procs.Node(i)
 	}
+	if cfg.Trace != nil {
+		c.StartTrace(cfg.Trace.W, TraceOpts{SampleInterval: cfg.Trace.SampleInterval})
+	}
 	return c
 }
+
+// TraceOpts configures StartTrace.
+type TraceOpts struct {
+	// SampleInterval, when positive, arms the virtual-time sampler at
+	// that interval.
+	SampleInterval time.Duration
+}
+
+// StartTrace enables the protocol span tracer: every coherence fault
+// becomes a causally-linked span tree across the nodes it touches, and
+// process lifetimes and migrations are recorded. When w is non-nil, Run
+// writes the whole trace to it as Perfetto/Chrome trace-event JSON on
+// completion. Call before Run; calling twice or after Run panics.
+func (c *Cluster) StartTrace(w io.Writer, opts TraceOpts) {
+	if c.ran {
+		panic("ivy: StartTrace after Run")
+	}
+	if c.tr != nil {
+		panic("ivy: StartTrace called twice")
+	}
+	c.tr = trace.NewCollector(func() time.Duration { return c.eng.Now().Duration() })
+	c.traceW = w
+	c.sampleIvl = opts.SampleInterval
+	c.nw.SetTracer(c.tr)
+	for _, svm := range c.svms {
+		svm.SetTraceCollector(c.tr)
+		svm.Endpoint().SetTracer(c.tr)
+	}
+	c.procs.SetTraceCollector(c.tr)
+}
+
+// TraceCollector returns the active span collector, or nil when tracing
+// is off. Consumers needing the raw spans (tests, custom reports)
+// import repro/internal/trace for the types.
+func (c *Cluster) TraceCollector() *trace.Collector { return c.tr }
 
 // Processors returns the cluster size.
 func (c *Cluster) Processors() int { return c.cfg.Processors }
@@ -118,12 +164,64 @@ func (c *Cluster) Run(main func(p *Proc)) error {
 		c.procs.Stop()
 		c.eng.Stop()
 	})
-	if err := c.eng.RunUntil(sim.Time(c.cfg.Horizon)); err != nil {
-		return err
+	if c.tr != nil && c.sampleIvl > 0 {
+		cancel := c.armSampler()
+		defer cancel()
+	}
+	runErr := c.eng.RunUntil(sim.Time(c.cfg.Horizon))
+	// Close and export the trace on every exit path, so even a deadlock
+	// or horizon run leaves an inspectable trace file.
+	traceErr := c.finishTrace()
+	if runErr != nil {
+		return runErr
 	}
 	if !finished {
 		return fmt.Errorf("%w: parked fibers: %v; held page locks: %v",
 			ErrHorizon, c.eng.Parked(), c.heldPageLocks())
+	}
+	return traceErr
+}
+
+// armSampler schedules the virtual-time series recorder. Ring
+// utilization is the wire time reserved during the interval divided by
+// the interval; a send burst reserving time past the sample instant can
+// push a sample above 1.
+func (c *Cluster) armSampler() (cancel func()) {
+	var lastBusy time.Duration
+	return c.eng.Every(c.sampleIvl, func() {
+		ns := c.nw.Stats()
+		smp := trace.Sample{
+			Time:            c.eng.Now().Duration(),
+			InFlightFaults:  c.tr.InFlightFaults(),
+			RingUtilization: float64(ns.WireBusy-lastBusy) / float64(c.sampleIvl),
+			Resident:        make([]int, len(c.svms)),
+			Runnable:        make([]int, len(c.svms)),
+		}
+		lastBusy = ns.WireBusy
+		for i, svm := range c.svms {
+			smp.Resident[i] = svm.Pool().Len()
+			n := c.procs.Node(i)
+			r := n.ReadyLen()
+			if n.Current() != nil {
+				r++
+			}
+			smp.Runnable[i] = r
+		}
+		c.tr.AddSample(smp)
+	})
+}
+
+// finishTrace closes open spans and writes the Perfetto export.
+func (c *Cluster) finishTrace() error {
+	if c.tr == nil {
+		return nil
+	}
+	c.tr.CloseOpen()
+	if c.traceW == nil {
+		return nil
+	}
+	if err := trace.ExportPerfetto(c.traceW, c.tr, len(c.svms)); err != nil {
+		return fmt.Errorf("ivy: trace export: %w", err)
 	}
 	return nil
 }
@@ -155,13 +253,18 @@ func (c *Cluster) Now() time.Duration { return c.eng.Now().Duration() }
 // mid-run (from inside a process) or after Run returns; two snapshots
 // subtract to interval deltas.
 func (c *Cluster) Snapshot() ClusterStats {
-	out := ClusterStats{Nodes: make([]NodeStats, len(c.svms))}
+	out := ClusterStats{
+		Nodes:       make([]NodeStats, len(c.svms)),
+		NodeLatency: make([]Latency, len(c.svms)),
+	}
 	for i, svm := range c.svms {
 		n := *c.sts[i]
 		n.DiskReads = svm.Disk().Reads()
 		n.DiskWrites = svm.Disk().Writes()
 		n.Evictions = svm.Pool().Evictions()
 		out.Nodes[i] = n
+		out.NodeLatency[i] = *svm.Latency()
+		out.Latency.Merge(*svm.Latency())
 		eps := svm.Endpoint().Stats()
 		out.Forwards += eps.Forwards
 		out.Retransmissions += eps.Retransmissions
@@ -228,8 +331,15 @@ type MessageEvent struct {
 
 // SetMessageTrace installs fn as a tap on every node's message delivery.
 // Call before Run. The callback runs for each delivered envelope —
-// tracing is verbose by design; cmd/ivytrace caps the output.
+// tracing is verbose by design; cmd/ivytrace caps the output. A nil fn
+// detaches the tap, restoring the zero-cost delivery path.
 func (c *Cluster) SetMessageTrace(fn func(MessageEvent)) {
+	if fn == nil {
+		for _, svm := range c.svms {
+			svm.Endpoint().SetDeliverHook(nil)
+		}
+		return
+	}
 	for i, svm := range c.svms {
 		i := i
 		svm.Endpoint().SetDeliverHook(func(env *wire.Envelope) {

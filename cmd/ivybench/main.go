@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/harness"
 )
 
@@ -23,8 +24,18 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, table1, managers, pagesize, alloc, migration, sensitivity, latency, sysmode")
 	maxProcs := flag.Int("maxprocs", 8, "largest processor count in sweeps (1..64)")
 	seed := flag.Int64("seed", 1, "simulation seed (results are deterministic per seed)")
+	var tf cli.TraceFlags
+	tf.Register()
 	flag.Parse()
 	harness.SetSeed(*seed)
+	tc, closeTrace, err := tf.Config()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivybench: %v\n", err)
+		os.Exit(1)
+	}
+	// Only the first cluster the selected experiment builds is traced;
+	// see harness.SetTrace.
+	harness.SetTrace(tc)
 
 	if *maxProcs < 1 || *maxProcs > 64 {
 		fmt.Fprintln(os.Stderr, "ivybench: -maxprocs must be in 1..64")
@@ -163,6 +174,14 @@ func main() {
 		harness.RenderMigration(os.Stdout, rows)
 		return nil
 	})
+
+	if err := closeTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "ivybench: %v\n", err)
+		os.Exit(1)
+	}
+	if tf.Out != "" {
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", tf.Out)
+	}
 }
 
 func min(a, b int) int {

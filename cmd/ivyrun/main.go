@@ -22,6 +22,7 @@ import (
 
 	ivy "repro"
 	"repro/internal/apps"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func main() {
 	sysmode := flag.Bool("sysmode", false, "use the projected system-mode cost model (paper's conclusion)")
 	size := flag.Int("n", 0, "problem size override (0 = app default)")
 	iters := flag.Int("iters", 0, "iteration override for iterative apps (0 = default)")
+	var tf cli.TraceFlags
+	tf.Register()
 	flag.Parse()
 
 	var alg ivy.Algorithm
@@ -63,9 +66,14 @@ func main() {
 		costs := ivy.SystemMode1988()
 		cfg.Costs = &costs
 	}
+	tc, closeTrace, err := tf.Config()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivyrun: %v\n", err)
+		os.Exit(1)
+	}
+	cfg.Trace = tc
 
 	var res apps.Result
-	var err error
 	switch *app {
 	case "jacobi":
 		par := apps.DefaultJacobi()
@@ -114,6 +122,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivyrun: %v\n", err)
+		os.Exit(1)
+	}
+	if err := closeTrace(); err != nil {
 		fmt.Fprintf(os.Stderr, "ivyrun: %v\n", err)
 		os.Exit(1)
 	}

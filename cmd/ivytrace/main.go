@@ -5,9 +5,14 @@
 // allocator's traffic. It is the fastest way to see the coherence
 // protocol at work.
 //
+// With -trace it also records the span tracer and writes a
+// Perfetto/Chrome trace-event JSON file; with -summary it prints the
+// per-phase latency breakdown table instead of the message log.
+//
 // Usage:
 //
 //	ivytrace [-procs N] [-limit N] [-scenario sharing|migration|pressure]
+//	         [-trace out.json] [-sample 1ms] [-summary]
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	ivy "repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -24,6 +30,9 @@ func main() {
 	limit := flag.Int("limit", 200, "maximum messages to print (0 = unlimited)")
 	scenario := flag.String("scenario", "sharing", "workload: sharing, migration, pressure")
 	pages := flag.Bool("pages", false, "also print per-page coherence transitions")
+	summary := flag.Bool("summary", false, "print the per-phase latency breakdown instead of the message log")
+	var tf cli.TraceFlags
+	tf.Register()
 	flag.Parse()
 
 	cfg := ivy.Config{Processors: *procs, Seed: 1}
@@ -31,35 +40,51 @@ func main() {
 		cfg.MemoryPages = 8
 		cfg.SharedPages = 256
 	}
+	tc, closeTrace, err := tf.Config()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivytrace: %v\n", err)
+		os.Exit(1)
+	}
+	cfg.Trace = tc
 	cluster := ivy.New(cfg)
 
 	printed := 0
-	cluster.SetMessageTrace(func(ev ivy.MessageEvent) {
-		if *limit > 0 && printed >= *limit {
-			return
-		}
-		printed++
-		dir := "???"
-		switch {
-		case ev.Request:
-			dir = "req"
-		case ev.Reply:
-			dir = "rep"
-		default:
-			dir = "bcast"
-		}
-		fmt.Printf("%-14v node%-2d <- node%-2d  %-5s %-16s (origin %d)\n",
-			ev.Time.Round(time.Microsecond), ev.Node, ev.Sender, dir, ev.Kind, ev.Origin)
-	})
-
-	if *pages {
-		cluster.SetAllPagesTrace(func(ev ivy.PageEvent) {
+	if !*summary {
+		cluster.SetMessageTrace(func(ev ivy.MessageEvent) {
 			if *limit > 0 && printed >= *limit {
+				// Limit reached: detach the tap entirely so the rest of
+				// the run pays no tracing overhead for discarded output.
+				cluster.SetMessageTrace(nil)
+				if *pages {
+					cluster.SetAllPagesTrace(nil)
+				}
 				return
 			}
 			printed++
-			fmt.Println(ev)
+			dir := "???"
+			switch {
+			case ev.Request:
+				dir = "req"
+			case ev.Reply:
+				dir = "rep"
+			default:
+				dir = "bcast"
+			}
+			fmt.Printf("%-14v node%-2d <- node%-2d  %-5s %-16s (origin %d)\n",
+				ev.Time.Round(time.Microsecond), ev.Node, ev.Sender, dir, ev.Kind, ev.Origin)
 		})
+
+		if *pages {
+			cluster.SetAllPagesTrace(func(ev ivy.PageEvent) {
+				if *limit > 0 && printed >= *limit {
+					cluster.SetMessageTrace(nil)
+					cluster.SetAllPagesTrace(nil)
+					return
+				}
+				printed++
+				fmt.Println(ev)
+			})
+		}
 	}
 
 	var body func(p *ivy.Proc)
@@ -79,9 +104,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ivytrace: %v\n", err)
 		os.Exit(1)
 	}
+	if err := closeTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "ivytrace: %v\n", err)
+		os.Exit(1)
+	}
 	s := cluster.Snapshot()
+	if *summary {
+		fmt.Printf("scenario %s, %d processors, virtual time %v\n\n",
+			*scenario, *procs, cluster.Elapsed().Round(time.Microsecond))
+		s.Latency.RenderTable(os.Stdout)
+		return
+	}
 	fmt.Printf("\n%d messages shown; %d packets total, %d forwards, virtual time %v\n",
 		printed, s.Packets, s.Forwards, cluster.Elapsed().Round(time.Microsecond))
+	if tf.Out != "" {
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", tf.Out)
+	}
 }
 
 // sharingScenario makes a page migrate for writing, replicate for

@@ -1,6 +1,7 @@
 package ivy
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/core"
@@ -58,8 +59,21 @@ type NodeStats = stats.Node
 type ClusterStats = stats.Cluster
 
 // Latency carries the fault-service histograms (read fault, write
-// fault, upgrade) merged across nodes.
+// fault, upgrade, disk fault, invalidation round) merged across nodes.
 type Latency = stats.Latency
+
+// TraceConfig turns on the protocol span tracer for a cluster built
+// from a Config — the declarative alternative to calling StartTrace.
+type TraceConfig struct {
+	// W, when non-nil, receives the Perfetto/Chrome trace-event JSON
+	// when Run finishes (openable in ui.perfetto.dev).
+	W io.Writer
+
+	// SampleInterval, when positive, records the time-series sampler
+	// (in-flight faults, ring utilization, resident frames, runnable
+	// processes) every interval of virtual time.
+	SampleInterval time.Duration
+}
 
 // Config assembles a cluster. The zero value of every field has a
 // sensible default applied by New.
@@ -114,6 +128,10 @@ type Config struct {
 	// Horizon bounds a Run in virtual time (default 1000 hours); hitting
 	// it makes Run fail, which is how runaway programs surface.
 	Horizon time.Duration
+
+	// Trace, when non-nil, enables the protocol span tracer (see
+	// TraceConfig). Nil — the default — costs nothing at run time.
+	Trace *TraceConfig
 }
 
 // withDefaults fills unset fields.

@@ -1,0 +1,49 @@
+// Package cli holds the flag plumbing shared by the command-line tools:
+// the -trace/-sample pair that turns a run's Config into a traced one.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ivy "repro"
+)
+
+// TraceFlags carries the tracing options common to ivyrun, ivybench,
+// and ivytrace.
+type TraceFlags struct {
+	Out    string
+	Sample time.Duration
+}
+
+// Register installs -trace and -sample on the default flag set.
+func (t *TraceFlags) Register() {
+	flag.StringVar(&t.Out, "trace", "",
+		"write a Perfetto/Chrome trace-event JSON file (open in ui.perfetto.dev)")
+	flag.DurationVar(&t.Sample, "sample", 0,
+		"virtual-time sampling interval for the trace's counter series (e.g. 1ms; 0 = off)")
+}
+
+// Enabled reports whether any tracing option was set.
+func (t *TraceFlags) Enabled() bool { return t.Out != "" || t.Sample > 0 }
+
+// Config materializes the flags into an ivy.TraceConfig plus a close
+// function to run after the cluster finishes (flushes the output file).
+// It returns (nil, no-op, nil) when tracing is off.
+func (t *TraceFlags) Config() (*ivy.TraceConfig, func() error, error) {
+	if !t.Enabled() {
+		return nil, func() error { return nil }, nil
+	}
+	tc := &ivy.TraceConfig{SampleInterval: t.Sample}
+	if t.Out == "" {
+		return tc, func() error { return nil }, nil
+	}
+	f, err := os.Create(t.Out)
+	if err != nil {
+		return nil, nil, fmt.Errorf("create trace file: %w", err)
+	}
+	tc.W = f
+	return tc, f.Close, nil
+}

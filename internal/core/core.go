@@ -36,6 +36,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // DefaultBase is the start of the shared portion of the address space.
@@ -156,6 +157,7 @@ type SVM struct {
 	st         *stats.Node
 	lat        stats.Latency
 	tracer     *traceCfg
+	trc        *trace.Collector
 }
 
 // New builds and wires a node's SVM, installing its request handlers on
@@ -226,6 +228,59 @@ func (s *SVM) Stats() *stats.Node { return s.st }
 
 // Latency returns the node's fault-service histograms.
 func (s *SVM) Latency() *stats.Latency { return &s.lat }
+
+// SetTraceCollector installs the protocol span collector on this node
+// (nil = tracing off, the default). The node's paging disk shares it.
+func (s *SVM) SetTraceCollector(c *trace.Collector) {
+	s.trc = c
+	s.dsk.SetTracer(c, int(s.node))
+}
+
+// beginFault opens a fault root span and binds it to the faulting fiber
+// so the layers below (remop, ring, disk) attribute their work to this
+// fault. It returns the span plus the fiber's previous trace context for
+// endFault to restore. With tracing off it is two loads and a compare —
+// no allocation, no defer.
+func (s *SVM) beginFault(f *sim.Fiber, ph trace.Phase, p mmu.PageID) (trace.SpanID, uint64) {
+	if s.trc == nil {
+		return 0, 0
+	}
+	prev := f.Trace()
+	id := s.trc.Begin(int(s.node), ph, 0, int32(p), "")
+	f.SetTrace(uint64(id))
+	return id, prev
+}
+
+// endFault closes a fault root span and restores the fiber's context.
+func (s *SVM) endFault(f *sim.Fiber, id trace.SpanID, prev uint64) {
+	if id == 0 {
+		return
+	}
+	s.trc.End(id)
+	f.SetTrace(prev)
+}
+
+// beginPhase opens a child span under the fiber's current context and
+// rebinds the fiber to it, so nested work (wire, serve, disk) nests
+// under the phase. Returns (0, 0) untraced.
+func (s *SVM) beginPhase(f *sim.Fiber, ph trace.Phase, p mmu.PageID, detail string) (trace.SpanID, uint64) {
+	if s.trc == nil || f.Trace() == 0 {
+		return 0, 0
+	}
+	prev := f.Trace()
+	id := s.trc.Begin(int(s.node), ph, trace.SpanID(prev), int32(p), detail)
+	f.SetTrace(uint64(id))
+	return id, prev
+}
+
+// endPhase closes a child span opened by beginPhase.
+func (s *SVM) endPhase(f *sim.Fiber, id trace.SpanID, prev uint64) {
+	if id == 0 {
+		return
+	}
+	s.trc.End(id)
+	f.SetTrace(prev)
+}
 
 // Endpoint returns the remote-operation endpoint.
 func (s *SVM) Endpoint() *remop.Endpoint { return s.ep }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/remop"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -256,6 +257,8 @@ func (s *SVM) diskFault(ctx Ctx, p mmu.PageID) {
 	defer s.trace("diskFault", p)
 	f := ctx.Fiber()
 	s.st.SVM.DiskFaults++
+	start := s.eng.Now()
+	span, prevTrc := s.beginFault(f, trace.PhaseDiskFault, p)
 	e := s.table.Entry(p)
 	var data []byte
 	if s.dsk.Has(p) {
@@ -269,6 +272,8 @@ func (s *SVM) diskFault(ctx Ctx, p mmu.PageID) {
 	} else {
 		e.Access = mmu.AccessRead
 	}
+	s.endFault(f, span, prevTrc)
+	s.lat.DiskFault.Record(s.eng.Now().Sub(start))
 }
 
 // upgradeFault is a write fault on a page the node already owns with
@@ -281,8 +286,10 @@ func (s *SVM) upgradeFault(ctx Ctx, p mmu.PageID) {
 	f := ctx.Fiber()
 	s.st.SVM.LocalUpgrades++
 	start := s.eng.Now()
+	span, prevTrc := s.beginFault(f, trace.PhaseUpgrade, p)
 	chargeCPU(f, s.cpu, s.costs.FaultTrap)
 	s.mgr.upgrade(ctx, p)
+	s.endFault(f, span, prevTrc)
 	s.st.SVM.FaultStall += s.eng.Now().Sub(start)
 	s.lat.Upgrade.Record(s.eng.Now().Sub(start))
 }
@@ -295,10 +302,13 @@ func (s *SVM) readFault(ctx Ctx, p mmu.PageID) {
 	f := ctx.Fiber()
 	s.st.SVM.ReadFaults++
 	start := s.eng.Now()
+	span, prevTrc := s.beginFault(f, trace.PhaseReadFault, p)
 	chargeCPU(f, s.cpu, s.costs.FaultTrap)
 	e := s.table.Entry(p)
 	for {
+		loc, locPrev := s.beginPhase(f, trace.PhaseLocate, p, "")
 		reply, err := s.mgr.locateRead(ctx, p)
+		s.endPhase(f, loc, locPrev)
 		if err != nil {
 			continue // request exhausted retransmissions; start over
 		}
@@ -322,6 +332,7 @@ func (s *SVM) readFault(ctx Ctx, p mmu.PageID) {
 		break
 	}
 	s.mgr.confirmRead(p)
+	s.endFault(f, span, prevTrc)
 	s.st.SVM.FaultStall += s.eng.Now().Sub(start)
 	s.lat.ReadFault.Record(s.eng.Now().Sub(start))
 }
@@ -334,10 +345,13 @@ func (s *SVM) writeFault(ctx Ctx, p mmu.PageID) {
 	f := ctx.Fiber()
 	s.st.SVM.WriteFaults++
 	start := s.eng.Now()
+	span, prevTrc := s.beginFault(f, trace.PhaseWriteFault, p)
 	chargeCPU(f, s.cpu, s.costs.FaultTrap)
 	e := s.table.Entry(p)
 	for {
+		loc, locPrev := s.beginPhase(f, trace.PhaseLocate, p, "")
 		reply, err := s.mgr.locateWrite(ctx, p)
+		s.endPhase(f, loc, locPrev)
 		if err != nil {
 			continue
 		}
@@ -365,32 +379,39 @@ func (s *SVM) writeFault(ctx Ctx, p mmu.PageID) {
 		break
 	}
 	s.mgr.confirmWrite(p)
+	s.endFault(f, span, prevTrc)
 	s.st.SVM.FaultStall += s.eng.Now().Sub(start)
 	s.lat.WriteFault.Record(s.eng.Now().Sub(start))
 }
 
 // invalidate revokes every read copy in cs, waiting for all
-// acknowledgements before the caller proceeds to write.
+// acknowledgements before the caller proceeds to write. The writer-side
+// round trip is recorded in the invalidation latency histogram.
 func (s *SVM) invalidate(f *sim.Fiber, p mmu.PageID, cs mmu.Copyset) {
 	if cs.Empty() {
 		return
 	}
 	members := cs.Members()
 	s.st.SVM.InvalSent += uint64(len(members))
+	start := s.eng.Now()
+	span, prevTrc := s.beginPhase(f, trace.PhaseInval, p, "")
 	req := &wire.InvalidateReq{Page: uint32(p), NewOwner: uint16(s.node)}
 	if s.bcastInval {
 		// Broadcast with replies-from-all: non-holders ack trivially.
 		for {
 			if _, err := s.ep.BroadcastAll(f, req); err == nil {
-				return
+				break
+			}
+		}
+	} else {
+		for {
+			if _, err := s.ep.CallMany(f, members, req); err == nil {
+				break
 			}
 		}
 	}
-	for {
-		if _, err := s.ep.CallMany(f, members, req); err == nil {
-			return
-		}
-	}
+	s.endPhase(f, span, prevTrc)
+	s.lat.Inval.Record(s.eng.Now().Sub(start))
 }
 
 // --- Owner-side service -------------------------------------------------
@@ -434,6 +455,9 @@ func (s *SVM) takeData(f *sim.Fiber, p mmu.PageID) []byte {
 // declines according to the algorithm).
 func (s *SVM) serveRead(f *sim.Fiber, origin ring.NodeID, p mmu.PageID) *wire.PageReadReply {
 	defer s.trace("serveRead", p)
+	if span, prev := s.beginPhase(f, trace.PhaseServe, p, "read"); span != 0 {
+		defer s.endPhase(f, span, prev)
+	}
 	s.table.Lock(f, p)
 	defer s.table.Unlock(p)
 	e := s.table.Entry(p)
@@ -458,6 +482,9 @@ func (s *SVM) serveRead(f *sim.Fiber, origin ring.NodeID, p mmu.PageID) *wire.Pa
 // owner.
 func (s *SVM) serveWrite(f *sim.Fiber, origin ring.NodeID, p mmu.PageID) *wire.PageWriteReply {
 	defer s.trace("serveWrite", p)
+	if span, prev := s.beginPhase(f, trace.PhaseServe, p, "write"); span != 0 {
+		defer s.endPhase(f, span, prev)
+	}
 	s.table.Lock(f, p)
 	defer s.table.Unlock(p)
 	e := s.table.Entry(p)
@@ -494,6 +521,11 @@ func (s *SVM) handleInvalidate(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 	m := env.Body.(*wire.InvalidateReq)
 	p := mmu.PageID(m.Page)
 	defer s.trace("handleInval", p)
+	if s.trc != nil && ctx.Fiber() != nil {
+		if ft := ctx.Fiber().Trace(); ft != 0 {
+			s.trc.Instant(int(s.node), trace.PhaseInvalRecv, trace.SpanID(ft), int32(p), "")
+		}
+	}
 	e := s.table.Entry(p)
 	s.st.SVM.InvalReceived++
 	if e.IsOwner {

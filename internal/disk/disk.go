@@ -12,6 +12,7 @@ import (
 	"repro/internal/mmu"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Disk is one node's paging store.
@@ -21,11 +22,21 @@ type Disk struct {
 
 	reads  uint64
 	writes uint64
+
+	trc  *trace.Collector
+	node int
 }
 
 // New creates an empty paging store.
 func New(costs model.Costs) *Disk {
 	return &Disk{costs: costs, store: make(map[mmu.PageID][]byte)}
+}
+
+// SetTracer installs a span collector; transfers performed by traced
+// fibers become disk-read/disk-write spans on node.
+func (d *Disk) SetTracer(c *trace.Collector, node int) {
+	d.trc = c
+	d.node = node
 }
 
 // Write pages data out to disk, stalling the fiber for the I/O time. The
@@ -38,6 +49,12 @@ func (d *Disk) Write(f *sim.Fiber, p mmu.PageID, data []byte) {
 	copy(buf, data)
 	d.store[p] = buf
 	d.writes++
+	if d.trc != nil && f.Trace() != 0 {
+		span := d.trc.Begin(d.node, trace.PhaseDiskWrite, trace.SpanID(f.Trace()), int32(p), "")
+		f.Sleep(d.costs.DiskIO)
+		d.trc.End(span)
+		return
+	}
 	f.Sleep(d.costs.DiskIO)
 }
 
@@ -50,7 +67,13 @@ func (d *Disk) Read(f *sim.Fiber, p mmu.PageID) []byte {
 		panic(fmt.Sprintf("disk: read of page %d with no disk image", p))
 	}
 	d.reads++
-	f.Sleep(d.costs.DiskIO)
+	if d.trc != nil && f.Trace() != 0 {
+		span := d.trc.Begin(d.node, trace.PhaseDiskRead, trace.SpanID(f.Trace()), int32(p), "")
+		f.Sleep(d.costs.DiskIO)
+		d.trc.End(span)
+	} else {
+		f.Sleep(d.costs.DiskIO)
+	}
 	out := make([]byte, len(data))
 	copy(out, data)
 	return out

@@ -73,9 +73,25 @@ var seed int64 = 1
 // SetSeed sets the seed used by all experiments.
 func SetSeed(s int64) { seed = s }
 
+// pendingTrace, when set by SetTrace, is consumed by the next cluster
+// built through baseConfig. Experiments run many clusters (a speedup
+// sweep is one per processor count); tracing all of them into one file
+// would interleave unrelated runs, so only the first cluster of the
+// selected experiment records the trace.
+var pendingTrace *ivy.TraceConfig
+
+// SetTrace arms the span tracer for the next cluster an experiment
+// builds (cmd/ivybench's -trace/-sample flags).
+func SetTrace(tc *ivy.TraceConfig) { pendingTrace = tc }
+
 // baseConfig is the common experiment configuration.
 func baseConfig(procs int) ivy.Config {
-	return ivy.Config{Processors: procs, Seed: seed}
+	cfg := ivy.Config{Processors: procs, Seed: seed}
+	if pendingTrace != nil {
+		cfg.Trace = pendingTrace
+		pendingTrace = nil
+	}
+	return cfg
 }
 
 // --- Figure 5: speedups of the benchmark suite ---------------------------
@@ -145,15 +161,26 @@ func RunTable1() (Table1, error) {
 		cfg := baseConfig(procs)
 		cfg.MemoryPages = apps.MemoryPressureFrames
 		var perIter []uint64
-		var prev uint64
+		var prev *ivy.ClusterStats
+		var subErr error
 		p := par
 		p.OnIteration = func(pr *ivy.Proc, iter int) {
-			cur := pr.Cluster().Snapshot().Total().DiskTransfers()
-			perIter = append(perIter, cur-prev)
-			prev = cur
+			cur := pr.Cluster().Snapshot()
+			delta := cur
+			if prev != nil {
+				delta, subErr = cur.SubChecked(*prev)
+				if subErr != nil {
+					return
+				}
+			}
+			perIter = append(perIter, delta.Total().DiskTransfers())
+			prev = &cur
 		}
 		if _, err := apps.RunPDE3D(cfg, p); err != nil {
 			return Table1{}, err
+		}
+		if subErr != nil {
+			return Table1{}, fmt.Errorf("harness: table1 interval delta: %w", subErr)
 		}
 		t.Rows[procs] = perIter
 	}

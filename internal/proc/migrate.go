@@ -7,6 +7,7 @@ import (
 	"repro/internal/remop"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -244,6 +245,16 @@ func (n *Node) handleMigrate(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 	n.pcbs[p.handle] = &slot{proc: p, state: Ready}
 	n.counted++
 	n.st.Proc.MigrationsIn++
+	if trc := n.cluster.trc; trc != nil {
+		// Split the residence span at the node boundary and mark the
+		// arrival so migrations show as track handoffs in the viewer.
+		if p.span != 0 {
+			trc.End(p.span)
+		}
+		trc.Instant(int(n.id), trace.PhaseMigrate, 0, trace.NoPage,
+			fmt.Sprintf("%s: node%d→node%d", p.name, old.id, n.id))
+		p.span = trc.Begin(int(n.id), trace.PhaseProcess, 0, trace.NoPage, p.name)
+	}
 	if !img.live {
 		n.enqueue(p)
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -147,7 +148,14 @@ type Cluster struct {
 	// the handle carried in the wire PCB (the Go closure is the "program
 	// code", which in IVY is replicated on every node).
 	procs map[uint64]*Process
+
+	trc *trace.Collector
 }
+
+// SetTraceCollector installs the span collector (nil = off): process
+// lifetimes become spans on their home node's track, migrations split
+// the span and mark the arrival.
+func (c *Cluster) SetTraceCollector(t *trace.Collector) { c.trc = t }
 
 // NewCluster creates the process-management layer over the given SVMs.
 // Entry i of svms/eps/cpus/sts belongs to node i.

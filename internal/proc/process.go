@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -52,6 +53,10 @@ type Process struct {
 
 	// doneWaiters are fibers blocked in Join.
 	doneWaiters []*sim.Fiber
+
+	// span is the process's current residence span (one per node visited;
+	// migration closes it and opens a new one on the destination).
+	span trace.SpanID
 }
 
 // Create makes a new process homed on this node and puts it on the ready
@@ -76,6 +81,9 @@ func (n *Node) Create(body Body, opts CreateOpts) *Process {
 	n.pcbs[p.handle] = &slot{proc: p, state: Ready}
 	n.counted++
 	n.st.Proc.Created++
+	if trc := n.cluster.trc; trc != nil {
+		p.span = trc.Begin(int(n.id), trace.PhaseProcess, 0, trace.NoPage, p.name)
+	}
 	n.enqueue(p)
 	return p
 }
@@ -179,6 +187,10 @@ func (p *Process) terminate() {
 		w.Unpark()
 	}
 	p.doneWaiters = nil
+	if trc := n.cluster.trc; trc != nil && p.span != 0 {
+		trc.End(p.span)
+		p.span = 0
+	}
 	n.dispatch()
 }
 

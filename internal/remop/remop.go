@@ -29,6 +29,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -68,6 +69,11 @@ func (c *Ctx) Forward(dst ring.NodeID) {
 	}
 	c.ep.recordForward(cacheKey(c.env.Origin, c.env.ReqID), dst)
 	c.ep.stats.Forwards++
+	span := c.ep.spanOf(c.env)
+	if span != 0 {
+		c.ep.trc.Instant(int(c.ep.id), trace.PhaseHop, span, trace.NoPage,
+			fmt.Sprintf("→node%d", dst))
+	}
 	fwd := *c.env
 	fwd.Sender = uint16(c.ep.id)
 	fwd.Flags |= wire.FlagForwarded
@@ -76,6 +82,7 @@ func (c *Ctx) Forward(dst ring.NodeID) {
 		Src:     c.ep.id,
 		Dst:     dst,
 		Payload: fwd.Marshal(),
+		Trace:   uint64(span),
 	})
 }
 
@@ -118,6 +125,9 @@ type pending struct {
 	// group, when non-nil, aggregates this pending into a CallMany batch;
 	// the shared fiber wakes when every member completes.
 	group *group
+	// trace is the span this request serves (0 = untraced); stamped on
+	// every transmission, including retransmissions.
+	trace trace.SpanID
 }
 
 // Endpoint is one node's attachment to the remote operation layer.
@@ -153,6 +163,7 @@ type Endpoint struct {
 	deliverHook func(*wire.Envelope) // test/trace hook, may be nil
 
 	stats Stats
+	trc   *trace.Collector
 }
 
 type replyEntry struct {
@@ -256,6 +267,21 @@ func (ep *Endpoint) recordForward(key uint64, dst ring.NodeID) {
 // before processing. Used by tracing and tests.
 func (ep *Endpoint) SetDeliverHook(fn func(*wire.Envelope)) { ep.deliverHook = fn }
 
+// SetTracer installs a span collector: requests sent by traced fibers
+// carry their fault span across the wire (via the collector's request
+// map, not the wire format), forwarding hops are recorded, and handler
+// fibers at the serving node inherit the span.
+func (ep *Endpoint) SetTracer(c *trace.Collector) { ep.trc = c }
+
+// spanOf returns the span an in-flight request belongs to (0 when
+// untraced or tracing is off).
+func (ep *Endpoint) spanOf(env *wire.Envelope) trace.SpanID {
+	if ep.trc == nil {
+		return 0
+	}
+	return ep.trc.RequestSpan(env.Origin, env.ReqID)
+}
+
 func (ep *Endpoint) loadHint() uint8 {
 	if ep.loadFn == nil {
 		return 0
@@ -354,6 +380,10 @@ func (ep *Endpoint) newPending(f *sim.Fiber, dst ring.NodeID, req wire.Msg, want
 		sentAt:     ep.eng.Now(),
 		responders: make(map[ring.NodeID]bool),
 	}
+	if ep.trc != nil && f != nil && f.Trace() != 0 {
+		p.trace = trace.SpanID(f.Trace())
+		ep.trc.MapRequest(uint16(ep.id), p.reqID, p.trace)
+	}
 	ep.out[p.reqID] = p
 	return p
 }
@@ -361,7 +391,7 @@ func (ep *Endpoint) newPending(f *sim.Fiber, dst ring.NodeID, req wire.Msg, want
 func (ep *Endpoint) transmit(p *pending) {
 	ep.stats.RequestsSent++
 	p.sentAt = ep.eng.Now()
-	ep.nw.Send(&ring.Packet{Src: ep.id, Dst: p.dst, Payload: p.payload})
+	ep.nw.Send(&ring.Packet{Src: ep.id, Dst: p.dst, Payload: p.payload, Trace: uint64(p.trace)})
 }
 
 // finish collects the result of a single-reply pending after the fiber
@@ -431,7 +461,8 @@ func (ep *Endpoint) handleRequest(env *wire.Envelope) {
 		// reply, do not re-execute ("resending replies only when
 		// necessary").
 		ep.stats.DuplicatesServed++
-		ep.nw.Send(&ring.Packet{Src: ep.id, Dst: cached.dst, Payload: cached.payload})
+		ep.nw.Send(&ring.Packet{Src: ep.id, Dst: cached.dst, Payload: cached.payload,
+			Trace: uint64(ep.spanOf(env))})
 		return
 	}
 	if dst, ok := ep.forwardCache[key]; ok {
@@ -442,7 +473,8 @@ func (ep *Endpoint) handleRequest(env *wire.Envelope) {
 		fwd.Sender = uint16(ep.id)
 		fwd.Flags |= wire.FlagForwarded
 		fwd.LoadHint = ep.loadHint()
-		ep.nw.Send(&ring.Packet{Src: ep.id, Dst: dst, Payload: fwd.Marshal()})
+		ep.nw.Send(&ring.Packet{Src: ep.id, Dst: dst, Payload: fwd.Marshal(),
+			Trace: uint64(ep.spanOf(env))})
 		return
 	}
 	if env.Flags&wire.FlagBroadcast != 0 {
@@ -461,8 +493,13 @@ func (ep *Endpoint) handleRequest(env *wire.Envelope) {
 	}
 	ep.inProgress[key] = true
 	ep.stats.RequestsServed++
+	span := ep.spanOf(env)
 	name := fmt.Sprintf("node%d/%v#%d", ep.id, env.Body.Kind(), env.ReqID)
 	ep.eng.Go(name, func(f *sim.Fiber) {
+		// The handler fiber inherits the request's fault span, so work it
+		// does on the fault's behalf (page copies, disk I/O, nested
+		// calls) attributes to that fault.
+		f.SetTrace(uint64(span))
 		// Charge the fixed service cost with the CPU held, then release
 		// it before the handler body runs: handlers may block on page
 		// locks or nested remote calls, and a blocked handler must never
@@ -508,7 +545,8 @@ func (ep *Endpoint) sendReply(req *wire.Envelope, body wire.Msg, key uint64) {
 	payload := reply.Marshal()
 	ep.cacheReply(key, payload, dst)
 	ep.stats.RepliesSent++
-	ep.nw.Send(&ring.Packet{Src: ep.id, Dst: dst, Payload: payload})
+	ep.nw.Send(&ring.Packet{Src: ep.id, Dst: dst, Payload: payload,
+		Trace: uint64(ep.spanOf(req))})
 }
 
 func (ep *Endpoint) cacheReply(key uint64, payload []byte, dst ring.NodeID) {
@@ -567,7 +605,7 @@ func (ep *Endpoint) retransmitCheck() {
 		ep.stats.Retransmissions++
 		p.sentAt = now
 		if p.dst != ring.Broadcast || p.want == 1 {
-			ep.nw.Send(&ring.Packet{Src: ep.id, Dst: p.dst, Payload: p.payload})
+			ep.nw.Send(&ring.Packet{Src: ep.id, Dst: p.dst, Payload: p.payload, Trace: uint64(p.trace)})
 			continue
 		}
 		for id := 0; id < ep.nw.Size(); id++ {
@@ -575,7 +613,7 @@ func (ep *Endpoint) retransmitCheck() {
 			if nid == ep.id || p.responders[nid] {
 				continue
 			}
-			ep.nw.Send(&ring.Packet{Src: ep.id, Dst: nid, Payload: p.payload})
+			ep.nw.Send(&ring.Packet{Src: ep.id, Dst: nid, Payload: p.payload, Trace: uint64(p.trace)})
 		}
 	}
 }

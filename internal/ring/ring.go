@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // NodeID identifies a station on the ring. Valid IDs are 0..N-1.
@@ -31,6 +32,12 @@ type Packet struct {
 	Src     NodeID
 	Dst     NodeID // Broadcast for all stations except Src
 	Payload []byte
+
+	// Trace is the span ID of the fault this packet serves (0 =
+	// untraced). It is simulator metadata, not part of the frame: it
+	// does not contribute to PacketTime, so enabling tracing never
+	// changes virtual timings.
+	Trace uint64
 }
 
 // Handler receives delivered packets in engine context. Handlers must not
@@ -58,6 +65,7 @@ type Network struct {
 	busyUntil sim.Time
 
 	stats Stats
+	trc   *trace.Collector
 }
 
 // New creates a ring with n stations using the given cost model. Stations
@@ -91,6 +99,15 @@ func (nw *Network) SetLossProbability(p float64) {
 // Stats returns a snapshot of the traffic counters.
 func (nw *Network) Stats() Stats { return nw.stats }
 
+// SetTracer installs a span collector. Traced packets (Trace != 0) get a
+// wire span from transmission start to delivery.
+func (nw *Network) SetTracer(c *trace.Collector) { nw.trc = c }
+
+// BusyUntil returns the virtual time through which the wire is reserved —
+// the sampler derives ring utilization from the WireBusy counter, and
+// diagnostics can compare this against now.
+func (nw *Network) BusyUntil() sim.Time { return nw.busyUntil }
+
 // Send transmits pkt. The sender does not block: the call reserves wire
 // time and schedules delivery; waiting for replies is the caller's
 // protocol concern. Delivery order is deterministic.
@@ -116,6 +133,19 @@ func (nw *Network) Send(pkt *Packet) {
 	nw.stats.Bytes += uint64(len(pkt.Payload))
 	nw.stats.WireBusy += wire
 
+	if nw.trc != nil && pkt.Trace != 0 {
+		dst := "broadcast"
+		if pkt.Dst != Broadcast {
+			dst = fmt.Sprintf("→node%d", pkt.Dst)
+		}
+		span := nw.trc.BeginAt(start.Duration(), int(pkt.Src), trace.PhaseWire,
+			trace.SpanID(pkt.Trace), trace.NoPage, fmt.Sprintf("%dB %s", len(pkt.Payload), dst))
+		nw.eng.ScheduleAt(end, func() {
+			nw.trc.End(span)
+			nw.deliver(pkt)
+		})
+		return
+	}
 	nw.eng.ScheduleAt(end, func() { nw.deliver(pkt) })
 }
 

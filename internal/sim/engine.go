@@ -121,6 +121,25 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 // Stop makes Run return after the current event or fiber step completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Every runs fn now+d, now+2d, ... until the returned cancel function is
+// called or the engine stops. fn runs in event context (no fiber).
+func (e *Engine) Every(d time.Duration, fn func()) (cancel func()) {
+	if d <= 0 {
+		panic("sim: Every with non-positive interval")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped || e.stopped {
+			return
+		}
+		fn()
+		e.Schedule(d, tick)
+	}
+	e.Schedule(d, tick)
+	return func() { stopped = true }
+}
+
 // Run executes events in timestamp order until the event queue is empty
 // and no fiber is runnable, or Stop is called. It returns an error if
 // live fibers remain parked with nothing left to wake them (a deadlock in

@@ -16,6 +16,11 @@ type Fiber struct {
 	resume chan struct{}
 	done   bool
 
+	// trace is an opaque tracing context (a span ID) that travels with
+	// the fiber, the simulation's analogue of a goroutine-local value.
+	// Zero means untraced.
+	trace uint64
+
 	// onExit callbacks run (in engine context) after the body returns.
 	onExit []func()
 }
@@ -66,6 +71,13 @@ func (e *Engine) yieldPanic(msg string) {
 
 // Name returns the fiber's diagnostic name.
 func (f *Fiber) Name() string { return f.name }
+
+// Trace returns the fiber's tracing context (0 = untraced).
+func (f *Fiber) Trace() uint64 { return f.trace }
+
+// SetTrace installs a tracing context on the fiber. Callers save and
+// restore the previous value around nested traced regions.
+func (f *Fiber) SetTrace(t uint64) { f.trace = t }
 
 // Engine returns the engine scheduling this fiber.
 func (f *Fiber) Engine() *Engine { return f.eng }

@@ -3,31 +3,42 @@ package stats
 import (
 	"fmt"
 	"io"
-	"math"
+	"math/bits"
 	"time"
 )
 
-// Hist is a logarithmic latency histogram (power-of-two buckets from
-// 1µs to ~8.6s). It records the fault-service and operation latencies
-// the original work reported as microbenchmarks.
+// Hist is a logarithmic latency histogram. Bucket 0 holds sub-microsecond
+// observations; bucket i (i >= 1) holds [2^(i-1), 2^i) microseconds, so
+// the top bucket starts at ~16.8s. It records the fault-service and
+// operation latencies the original work reported as microbenchmarks.
 type Hist struct {
-	buckets [24]uint64
+	buckets [26]uint64
 	count   uint64
 	sum     time.Duration
 	max     time.Duration
 }
 
-// bucketFor maps a duration to its bucket index.
+// bucketFor maps a duration to its bucket index using integer bit-length
+// arithmetic: values under 1µs land in the dedicated bucket 0, and a
+// value of n µs lands in bucket bits.Len64(n), i.e. [2^(i-1), 2^i) µs.
 func bucketFor(d time.Duration) int {
 	us := d.Microseconds()
 	if us < 1 {
 		return 0
 	}
-	b := int(math.Log2(float64(us)))
+	b := bits.Len64(uint64(us))
 	if b >= len(Hist{}.buckets) {
 		b = len(Hist{}.buckets) - 1
 	}
 	return b
+}
+
+// bucketBound returns the exclusive upper bound of bucket i.
+func bucketBound(i int) time.Duration {
+	if i == 0 {
+		return time.Microsecond
+	}
+	return time.Duration(1<<uint(i)) * time.Microsecond
 }
 
 // Record adds one observation.
@@ -55,7 +66,7 @@ func (h *Hist) Mean() time.Duration {
 func (h *Hist) Max() time.Duration { return h.max }
 
 // Quantile returns an upper bound on the q-quantile (0 < q <= 1) from
-// the bucket boundaries.
+// the bucket boundaries, capped at the observed maximum.
 func (h *Hist) Quantile(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
@@ -68,7 +79,7 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	for i, n := range h.buckets {
 		seen += n
 		if seen >= target {
-			bound := time.Duration(1<<uint(i+1)) * time.Microsecond
+			bound := bucketBound(i)
 			if bound > h.max {
 				bound = h.max
 			}
@@ -90,6 +101,19 @@ func (h *Hist) Merge(o Hist) {
 	}
 }
 
+// Sub returns h - o bucket-wise, for interval deltas; o must be an
+// earlier snapshot of the same histogram. Max cannot be subtracted and
+// is kept as the later snapshot's high-watermark.
+func (h Hist) Sub(o Hist) Hist {
+	out := h
+	for i := range out.buckets {
+		out.buckets[i] -= o.buckets[i]
+	}
+	out.count -= o.count
+	out.sum -= o.sum
+	return out
+}
+
 // Render writes a compact percentile summary.
 func (h *Hist) Render(w io.Writer, label string) {
 	if h.count == 0 {
@@ -103,13 +127,16 @@ func (h *Hist) Render(w io.Writer, label string) {
 		h.Max().Round(time.Microsecond))
 }
 
-// Latency groups the per-node fault-service histograms — the
+// Latency groups the per-node protocol-phase histograms — the
 // microbenchmark-style numbers (how long a remote read fault takes end
-// to end) that sit outside the subtractable counter block.
+// to end, how long an invalidation round costs the writer) that sit
+// outside the subtractable counter block.
 type Latency struct {
 	ReadFault  Hist
 	WriteFault Hist
 	Upgrade    Hist
+	DiskFault  Hist
+	Inval      Hist // write-fault invalidation round, writer-side round trip
 }
 
 // Merge combines another node's histograms into l.
@@ -117,11 +144,50 @@ func (l *Latency) Merge(o Latency) {
 	l.ReadFault.Merge(o.ReadFault)
 	l.WriteFault.Merge(o.WriteFault)
 	l.Upgrade.Merge(o.Upgrade)
+	l.DiskFault.Merge(o.DiskFault)
+	l.Inval.Merge(o.Inval)
 }
 
-// Render writes all three summaries.
+// Sub returns l - o histogram-wise (see Hist.Sub for max semantics).
+func (l Latency) Sub(o Latency) Latency {
+	return Latency{
+		ReadFault:  l.ReadFault.Sub(o.ReadFault),
+		WriteFault: l.WriteFault.Sub(o.WriteFault),
+		Upgrade:    l.Upgrade.Sub(o.Upgrade),
+		DiskFault:  l.DiskFault.Sub(o.DiskFault),
+		Inval:      l.Inval.Sub(o.Inval),
+	}
+}
+
+// Render writes one summary line per phase.
 func (l *Latency) Render(w io.Writer) {
 	l.ReadFault.Render(w, "read fault")
 	l.WriteFault.Render(w, "write fault")
 	l.Upgrade.Render(w, "write upgrade")
+	l.DiskFault.Render(w, "disk fault")
+	l.Inval.Render(w, "invalidation")
+}
+
+// RenderTable writes the per-phase latency breakdown as an aligned
+// table (the ivytrace -summary output).
+func (l *Latency) RenderTable(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %9s %12s %12s %12s %12s\n",
+		"phase", "count", "mean", "p50", "p95", "max")
+	row := func(name string, h *Hist) {
+		if h.Count() == 0 {
+			fmt.Fprintf(w, "%-14s %9d %12s %12s %12s %12s\n", name, 0, "-", "-", "-", "-")
+			return
+		}
+		fmt.Fprintf(w, "%-14s %9d %12v %12v %12v %12v\n",
+			name, h.Count(),
+			h.Mean().Round(time.Microsecond),
+			h.Quantile(0.50).Round(time.Microsecond),
+			h.Quantile(0.95).Round(time.Microsecond),
+			h.Max().Round(time.Microsecond))
+	}
+	row("read-fault", &l.ReadFault)
+	row("write-fault", &l.WriteFault)
+	row("upgrade", &l.Upgrade)
+	row("disk-fault", &l.DiskFault)
+	row("invalidation", &l.Inval)
 }

@@ -7,7 +7,10 @@
 // of two snapshots.
 package stats
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // SVM counts one node's shared-virtual-memory activity.
 type SVM struct {
@@ -128,13 +131,34 @@ type Cluster struct {
 	Forwards        uint64
 	Retransmissions uint64
 	Broadcasts      uint64
+
+	// Latency is the cluster-wide merge of every node's fault-service
+	// histograms; NodeLatency holds the per-node breakdowns (same
+	// indexing as Nodes, may be empty on snapshots taken before latency
+	// capture existed).
+	Latency     Latency
+	NodeLatency []Latency
 }
 
 // Sub returns c - o element-wise. The two snapshots must have the same
-// number of nodes.
+// number of nodes; Sub panics on mismatch (use SubChecked to get an
+// error instead).
 func (c Cluster) Sub(o Cluster) Cluster {
-	if len(c.Nodes) != len(o.Nodes) {
+	out, err := c.SubChecked(o)
+	if err != nil {
 		panic("stats: snapshot size mismatch")
+	}
+	return out
+}
+
+// SubChecked returns c - o element-wise, or an error if the snapshots
+// are not comparable (different node counts). Latency histograms are
+// subtracted when both snapshots carry per-node breakdowns; a snapshot
+// pair where o predates latency capture keeps c's histograms whole.
+func (c Cluster) SubChecked(o Cluster) (Cluster, error) {
+	if len(c.Nodes) != len(o.Nodes) {
+		return Cluster{}, fmt.Errorf("stats: snapshot size mismatch: %d vs %d nodes",
+			len(c.Nodes), len(o.Nodes))
 	}
 	out := Cluster{
 		Nodes:           make([]Node, len(c.Nodes)),
@@ -148,7 +172,17 @@ func (c Cluster) Sub(o Cluster) Cluster {
 	for i := range c.Nodes {
 		out.Nodes[i] = c.Nodes[i].Sub(o.Nodes[i])
 	}
-	return out
+	if len(c.NodeLatency) == len(o.NodeLatency) && len(c.NodeLatency) > 0 {
+		out.Latency = c.Latency.Sub(o.Latency)
+		out.NodeLatency = make([]Latency, len(c.NodeLatency))
+		for i := range c.NodeLatency {
+			out.NodeLatency[i] = c.NodeLatency[i].Sub(o.NodeLatency[i])
+		}
+	} else {
+		out.Latency = c.Latency
+		out.NodeLatency = append([]Latency(nil), c.NodeLatency...)
+	}
+	return out, nil
 }
 
 // Total returns the field-wise sum over nodes.

@@ -1,0 +1,152 @@
+package trace
+
+// Chrome trace-event JSON export, openable in ui.perfetto.dev or
+// chrome://tracing. The mapping:
+//
+//   - every simulated node is a "process" (pid = node id), named nodeN;
+//   - within a node, tid 0 is the process-management lane (lifetime
+//     spans and migration instants) and each fault gets its own lane
+//     (tid = root span ID) so concurrent faults never overlap and the
+//     phase nesting inside one fault renders as a stack;
+//   - every fault is an async flow (s/t/f events sharing id = root span
+//     ID): the arrow starts at the fault, visits each child span that
+//     executed on a different node, and terminates back at the fault's
+//     end — making cross-node causality visible;
+//   - sampler rows become counter ("C") events on a synthetic
+//     pid = nodeCount "cluster" process.
+//
+// Timestamps are microseconds (float — the format's convention); the
+// span log is already in creation order but events are re-sorted by
+// timestamp for viewers that care. encoding/json emits struct fields in
+// declaration order and sorts map keys, so output is deterministic and
+// golden-testable.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+type pfEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   uint64         `json:"tid"`
+	ID    uint64         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`  // instant scope
+	BP    string         `json:"bp,omitempty"` // flow binding point
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type pfFile struct {
+	TraceEvents     []pfEvent `json:"traceEvents"`
+	DisplayTimeUnit string    `json:"displayTimeUnit"`
+}
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// ExportPerfetto writes the collector's spans and samples as Chrome
+// trace-event JSON. nodes is the cluster size (for track metadata).
+func ExportPerfetto(w io.Writer, c *Collector, nodes int) error {
+	var meta, evs []pfEvent
+
+	for n := 0; n < nodes; n++ {
+		meta = append(meta,
+			pfEvent{Name: "process_name", Phase: "M", Pid: n, Tid: 0,
+				Args: map[string]any{"name": fmt.Sprintf("node%d", n)}},
+			pfEvent{Name: "thread_name", Phase: "M", Pid: n, Tid: 0,
+				Args: map[string]any{"name": "processes"}},
+		)
+	}
+	meta = append(meta, pfEvent{Name: "process_name", Phase: "M", Pid: nodes, Tid: 0,
+		Args: map[string]any{"name": "cluster"}})
+
+	spans := c.Spans()
+	namedLane := make(map[uint64]bool) // (pid,tid) lanes already titled
+
+	lane := func(s Span) uint64 {
+		if s.Phase == PhaseProcess || s.Phase == PhaseMigrate {
+			return 0
+		}
+		return uint64(s.Root)
+	}
+
+	for _, s := range spans {
+		tid := lane(s)
+		if tid != 0 {
+			key := uint64(s.Node)<<40 | tid
+			if !namedLane[key] {
+				namedLane[key] = true
+				root := c.Span(s.Root)
+				meta = append(meta, pfEvent{Name: "thread_name", Phase: "M",
+					Pid: s.Node, Tid: tid,
+					Args: map[string]any{"name": fmt.Sprintf("fault %d (%s p%d)", s.Root, root.Phase, root.Page)}})
+			}
+		}
+
+		args := map[string]any{"span": uint64(s.ID), "root": uint64(s.Root)}
+		if s.Page >= 0 {
+			args["page"] = s.Page
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+
+		if s.End == s.Start { // instant
+			evs = append(evs, pfEvent{Name: s.Phase.String(), Phase: "i",
+				Ts: usec(s.Start), Pid: s.Node, Tid: tid, Scope: "t", Args: args})
+			continue
+		}
+		d := usec(s.End - s.Start)
+		evs = append(evs, pfEvent{Name: s.Phase.String(), Phase: "X",
+			Ts: usec(s.Start), Dur: &d, Pid: s.Node, Tid: tid, Args: args})
+	}
+
+	// One flow per fault root, threading through child spans that ran on
+	// a different node than the fault's origin.
+	for _, s := range spans {
+		if s.Parent != 0 || !s.Phase.IsFault() {
+			continue
+		}
+		evs = append(evs, pfEvent{Name: "fault-flow", Phase: "s",
+			Ts: usec(s.Start), Pid: s.Node, Tid: uint64(s.ID), ID: uint64(s.ID)})
+		for _, ch := range spans {
+			if ch.Root != s.ID || ch.ID == s.ID || ch.Node == s.Node {
+				continue
+			}
+			evs = append(evs, pfEvent{Name: "fault-flow", Phase: "t",
+				Ts: usec(ch.Start), Pid: ch.Node, Tid: uint64(ch.Root), ID: uint64(s.ID)})
+		}
+		if !s.Open() {
+			evs = append(evs, pfEvent{Name: "fault-flow", Phase: "f", BP: "e",
+				Ts: usec(s.End), Pid: s.Node, Tid: uint64(s.ID), ID: uint64(s.ID)})
+		}
+	}
+
+	for _, smp := range c.Samples() {
+		ts := usec(smp.Time)
+		evs = append(evs,
+			pfEvent{Name: "in-flight faults", Phase: "C", Ts: ts, Pid: nodes, Tid: 0,
+				Args: map[string]any{"faults": smp.InFlightFaults}},
+			pfEvent{Name: "ring utilization", Phase: "C", Ts: ts, Pid: nodes, Tid: 0,
+				Args: map[string]any{"busy": smp.RingUtilization}},
+		)
+		for n, r := range smp.Resident {
+			evs = append(evs, pfEvent{Name: fmt.Sprintf("node%d resident", n), Phase: "C",
+				Ts: ts, Pid: nodes, Tid: 0, Args: map[string]any{"frames": r}})
+		}
+		for n, r := range smp.Runnable {
+			evs = append(evs, pfEvent{Name: fmt.Sprintf("node%d runnable", n), Phase: "C",
+				Ts: ts, Pid: nodes, Tid: 0, Args: map[string]any{"procs": r}})
+		}
+	}
+
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(pfFile{TraceEvents: append(meta, evs...), DisplayTimeUnit: "ns"})
+}

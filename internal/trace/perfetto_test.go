@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the Perfetto golden file")
+
+// goldenCollector builds a small fixed trace: one write fault on node 0
+// whose locate phase sends a packet to node 1, which serves it; plus a
+// process lifetime span and one sampler row.
+func goldenCollector() *Collector {
+	clock, set := testClock()
+	c := NewCollector(clock)
+
+	set(0)
+	proc := c.Begin(0, PhaseProcess, 0, NoPage, "main")
+
+	set(10 * time.Microsecond)
+	fault := c.Begin(0, PhaseWriteFault, 0, 7, "")
+	loc := c.Begin(0, PhaseLocate, fault, 7, "")
+	wire := c.BeginAt(12*time.Microsecond, 0, PhaseWire, loc, NoPage, "64B →node1")
+	set(20 * time.Microsecond)
+	c.End(wire)
+	serve := c.Begin(1, PhaseServe, loc, 7, "write")
+	set(30 * time.Microsecond)
+	c.End(serve)
+	set(35 * time.Microsecond)
+	c.End(loc)
+	c.Instant(1, PhaseInvalRecv, fault, 7, "")
+	set(40 * time.Microsecond)
+	c.End(fault)
+
+	c.AddSample(Sample{
+		Time:            25 * time.Microsecond,
+		InFlightFaults:  1,
+		RingUtilization: 0.5,
+		Resident:        []int{3, 2},
+		Runnable:        []int{1, 0},
+	})
+
+	set(50 * time.Microsecond)
+	c.End(proc)
+	return c
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportPerfetto(&buf, goldenCollector(), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export drifted from golden file; run 'go test ./internal/trace -update' after verifying the new output\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPerfettoWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportPerfetto(&buf, goldenCollector(), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Ts    float64 `json:"ts"`
+			Pid   int     `json:"pid"`
+			ID    uint64  `json:"id"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q, want ns", f.DisplayTimeUnit)
+	}
+
+	var starts, steps, finishes, complete, counters int
+	pids := map[int]bool{}
+	for _, ev := range f.TraceEvents {
+		pids[ev.Pid] = true
+		switch ev.Phase {
+		case "s":
+			starts++
+		case "t":
+			steps++
+		case "f":
+			finishes++
+		case "X":
+			complete++
+		case "C":
+			counters++
+		}
+	}
+	// One fault → one flow with at least one cross-node step (the serve
+	// span ran on node 1) and a terminating arrow.
+	if starts != 1 || finishes != 1 {
+		t.Fatalf("flow starts/finishes = %d/%d, want 1/1", starts, finishes)
+	}
+	if steps < 1 {
+		t.Fatal("flow has no cross-node steps")
+	}
+	if complete < 4 {
+		t.Fatalf("complete events = %d, want >= 4 (proc, fault, locate, wire, serve)", complete)
+	}
+	// 2 cluster counters + per-node resident/runnable series.
+	if counters != 2+2+2 {
+		t.Fatalf("counter events = %d, want 6", counters)
+	}
+	// Both node tracks and the synthetic cluster process appear.
+	for _, pid := range []int{0, 1, 2} {
+		if !pids[pid] {
+			t.Fatalf("no events for pid %d", pid)
+		}
+	}
+}

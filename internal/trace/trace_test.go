@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock returns a clock function reading from a settable cursor.
+func testClock() (clock func() time.Duration, set func(time.Duration)) {
+	var now time.Duration
+	return func() time.Duration { return now }, func(t time.Duration) { now = t }
+}
+
+func TestSpanTreeAndRootResolution(t *testing.T) {
+	clock, set := testClock()
+	c := NewCollector(clock)
+
+	set(10 * time.Microsecond)
+	fault := c.Begin(0, PhaseWriteFault, 0, 7, "")
+	if fault != 1 {
+		t.Fatalf("first span ID = %d, want 1", fault)
+	}
+	if got := c.Span(fault).Root; got != fault {
+		t.Fatalf("root span's Root = %d, want itself (%d)", got, fault)
+	}
+	if c.InFlightFaults() != 1 {
+		t.Fatalf("InFlightFaults = %d, want 1", c.InFlightFaults())
+	}
+
+	set(20 * time.Microsecond)
+	loc := c.Begin(0, PhaseLocate, fault, 7, "")
+	wire := c.Begin(0, PhaseWire, loc, NoPage, "64B →node1")
+	if got := c.Span(wire).Root; got != fault {
+		t.Fatalf("grandchild Root = %d, want fault root %d", got, fault)
+	}
+	if got := c.Span(wire).Parent; got != loc {
+		t.Fatalf("grandchild Parent = %d, want %d", got, loc)
+	}
+
+	set(30 * time.Microsecond)
+	c.End(wire)
+	c.End(loc)
+	set(45 * time.Microsecond)
+	c.End(fault)
+
+	if c.InFlightFaults() != 0 {
+		t.Fatalf("InFlightFaults after End = %d, want 0", c.InFlightFaults())
+	}
+	s := c.Span(fault)
+	if s.Start != 10*time.Microsecond || s.End != 45*time.Microsecond {
+		t.Fatalf("fault span interval = [%v, %v], want [10µs, 45µs]", s.Start, s.End)
+	}
+	if d := s.Duration(); d != 35*time.Microsecond {
+		t.Fatalf("fault Duration = %v, want 35µs", d)
+	}
+
+	kids := c.Children(fault)
+	if len(kids) != 1 || kids[0] != loc {
+		t.Fatalf("Children(fault) = %v, want [%d]", kids, loc)
+	}
+
+	// Double-End is a no-op.
+	c.End(fault)
+	if got := c.Span(fault).End; got != 45*time.Microsecond {
+		t.Fatalf("End after double-End = %v, want 45µs", got)
+	}
+	// End(0) is a no-op (the untraced sentinel).
+	c.End(0)
+}
+
+func TestInstantAndOpenSpans(t *testing.T) {
+	clock, set := testClock()
+	c := NewCollector(clock)
+
+	set(5 * time.Microsecond)
+	fault := c.Begin(1, PhaseReadFault, 0, 3, "")
+	hop := c.Instant(2, PhaseHop, fault, NoPage, "→node0")
+	h := c.Span(hop)
+	if h.Open() || h.Start != h.End || h.Duration() != 0 {
+		t.Fatalf("instant span = %+v, want closed zero-duration", h)
+	}
+	if c.Span(fault).Open() != true {
+		t.Fatal("fault should still be open")
+	}
+
+	// CloseOpen ends the dangling fault and fixes the in-flight gauge.
+	set(50 * time.Microsecond)
+	c.CloseOpen()
+	if c.Span(fault).Open() || c.Span(fault).End != 50*time.Microsecond {
+		t.Fatalf("CloseOpen left fault = %+v", c.Span(fault))
+	}
+	if c.InFlightFaults() != 0 {
+		t.Fatalf("InFlightFaults after CloseOpen = %d, want 0", c.InFlightFaults())
+	}
+}
+
+func TestRequestMapping(t *testing.T) {
+	clock, _ := testClock()
+	c := NewCollector(clock)
+	fault := c.Begin(0, PhaseWriteFault, 0, 9, "")
+
+	c.MapRequest(0, 42, fault)
+	if got := c.RequestSpan(0, 42); got != fault {
+		t.Fatalf("RequestSpan(0,42) = %d, want %d", got, fault)
+	}
+	if got := c.RequestSpan(1, 42); got != 0 {
+		t.Fatalf("RequestSpan for unmapped origin = %d, want 0", got)
+	}
+	if got := c.RequestSpan(0, 43); got != 0 {
+		t.Fatalf("RequestSpan for unmapped reqID = %d, want 0", got)
+	}
+}
+
+func TestInFlightCountsOnlyFaultRoots(t *testing.T) {
+	clock, _ := testClock()
+	c := NewCollector(clock)
+
+	proc := c.Begin(0, PhaseProcess, 0, NoPage, "worker")
+	if c.InFlightFaults() != 0 {
+		t.Fatal("process lifetime span must not count as in-flight fault")
+	}
+	fault := c.Begin(0, PhaseUpgrade, 0, 1, "")
+	child := c.Begin(0, PhaseInval, fault, 1, "")
+	if c.InFlightFaults() != 1 {
+		t.Fatalf("InFlightFaults = %d, want 1 (children don't count)", c.InFlightFaults())
+	}
+	c.End(child)
+	c.End(fault)
+	c.End(proc)
+	if c.InFlightFaults() != 0 {
+		t.Fatalf("InFlightFaults = %d, want 0", c.InFlightFaults())
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	for p := PhaseReadFault; p <= PhaseMigrate; p++ {
+		if p.String() == "phase?" || p.String() == "" {
+			t.Fatalf("phase %d has no name", p)
+		}
+	}
+	if !PhaseDiskFault.IsFault() || PhaseLocate.IsFault() {
+		t.Fatal("IsFault boundary wrong")
+	}
+}

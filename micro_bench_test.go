@@ -45,29 +45,52 @@ func BenchmarkMicroLocalAccess(b *testing.B) {
 	}
 }
 
+// remoteReadFaultBody is the remote-read-fault measurement shared by the
+// traced and untraced benchmark variants: node 0 owns all pages, node 1
+// faults each one in once.
+func remoteReadFaultBody(p *ivy.Proc, iters int) time.Duration {
+	addr := p.MustMalloc(uint64(iters) * 1024)
+	for k := 0; k < iters; k++ {
+		p.WriteU64(addr+uint64(k*1024), uint64(k)) // node 0 owns all pages
+	}
+	var total time.Duration
+	done := p.NewEventcount(4)
+	p.CreateOn(1, func(q *ivy.Proc) {
+		start := q.Now()
+		for k := 0; k < iters; k++ {
+			_ = q.ReadU64(addr + uint64(k*1024)) // each faults once
+		}
+		total = q.Now() - start
+		done.Advance(q)
+	})
+	done.Wait(p, 1)
+	return total
+}
+
 // BenchmarkMicroRemoteReadFault measures an end-to-end remote read fault
 // (1 KB page): trap, request, owner service, page transfer, install.
 func BenchmarkMicroRemoteReadFault(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		v := measureVirtual(b, 2, 64, func(p *ivy.Proc, iters int) time.Duration {
-			addr := p.MustMalloc(uint64(iters) * 1024)
-			for k := 0; k < iters; k++ {
-				p.WriteU64(addr+uint64(k*1024), uint64(k)) // node 0 owns all pages
-			}
-			var total time.Duration
-			done := p.NewEventcount(4)
-			p.CreateOn(1, func(q *ivy.Proc) {
-				start := q.Now()
-				for k := 0; k < iters; k++ {
-					_ = q.ReadU64(addr + uint64(k*1024)) // each faults once
-				}
-				total = q.Now() - start
-				done.Advance(q)
-			})
-			done.Wait(p, 1)
-			return total
-		})
+		v := measureVirtual(b, 2, 64, remoteReadFaultBody)
 		b.ReportMetric(float64(v.Nanoseconds())/1e3, "virt_us/fault")
+	}
+}
+
+// BenchmarkMicroRemoteReadFaultTraced is the same measurement with the
+// span tracer collecting (no output writer). Wall-clock ns/op against
+// the untraced benchmark is the tracing overhead; virt_us/fault must be
+// identical — tracing never changes virtual time.
+func BenchmarkMicroRemoteReadFaultTraced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var avg time.Duration
+		c := ivy.New(ivy.Config{Processors: 2, Seed: 1})
+		c.StartTrace(nil, ivy.TraceOpts{})
+		if err := c.Run(func(p *ivy.Proc) {
+			avg = remoteReadFaultBody(p, 64) / 64
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(avg.Nanoseconds())/1e3, "virt_us/fault")
 	}
 }
 
