@@ -89,6 +89,7 @@ func New(cfg Config) *Cluster {
 		}))
 	}
 	c.procs = proc.NewCluster(eng, c.svms, *cfg.Balance)
+	c.procs.SetDisableTLB(cfg.DisableTLB)
 	for i := 0; i < cfg.Processors; i++ {
 		nodes[i] = c.procs.Node(i)
 	}

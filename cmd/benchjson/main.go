@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON file, so benchmark results can be committed and
+// diffed across PRs (BENCH_PR2.json is the first such snapshot).
+//
+// It parses the standard benchmark line format — iterations, ns/op, the
+// -benchmem pair (B/op, allocs/op), and every custom metric the suite
+// reports (virt_us/*, *_vsec, real_ns/access: the simulated virtual
+// times) — and keys each metric by its unit string.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_PR2.json
+//
+// Non-benchmark lines (PASS, ok, package headers) are ignored, so the
+// raw `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed line.
+type Result struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other reported unit, including the simulated
+	// virtual-time metrics (virt_us/op, *_vsec, speedup@Np, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GoOS       string   `json:"goos"`
+	GoArch     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	// Strip the -GOMAXPROCS suffix go test appends when -cpu is set.
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		val := v
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = &val
+		case "B/op":
+			r.BytesPerOp = &val
+		case "allocs/op":
+			r.AllocsPerOp = &val
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[f[i+1]] = val
+		}
+	}
+	return r, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

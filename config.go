@@ -125,6 +125,13 @@ type Config struct {
 	TwoLevelAlloc bool
 	ChunkBytes    uint64
 
+	// DisableTLB turns off the per-process software translation caches,
+	// forcing every shared-memory access through the full checked path.
+	// Simulated behaviour (virtual time, fault and message counts) is
+	// identical either way — the TLB is a wall-clock optimization only,
+	// and the property test in tlb_prop_test.go holds it to that.
+	DisableTLB bool
+
 	// Horizon bounds a Run in virtual time (default 1000 hours); hitting
 	// it makes Run fail, which is how runaway programs surface.
 	Horizon time.Duration

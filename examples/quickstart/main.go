@@ -40,11 +40,15 @@ func main() {
 				lo := w * elements / procs
 				hi := (w + 1) * elements / procs
 				part := 0.0
+				vals := make([]float64, hi-lo)
 				for i := lo; i < hi; i++ {
-					q.WriteF64(data+uint64(8*i), float64(i))
+					vals[i-lo] = float64(i)
 					part += float64(i)
-					q.LocalOps(2)
 				}
+				q.LocalOps(2 * (hi - lo))
+				// One bulk write checks access once per page run instead
+				// of once per element.
+				q.WriteF64s(data+uint64(8*lo), vals)
 				// Mutual exclusion with the paper's idiom: test-and-set
 				// on a shared byte.
 				lock.Acquire(q)

@@ -62,6 +62,13 @@ func (a F64) Read(q *ivy.Proc, i int) float64 { return q.ReadF64(a.At(i)) }
 // Write stores element i.
 func (a F64) Write(q *ivy.Proc, i int, v float64) { q.WriteF64(a.At(i), v) }
 
+// ReadSlice fills dst with elements [i, i+len(dst)) using the bulk
+// accessor (one access check per page run).
+func (a F64) ReadSlice(q *ivy.Proc, i int, dst []float64) { q.ReadF64s(a.At(i), dst) }
+
+// WriteSlice stores src at elements [i, i+len(src)).
+func (a F64) WriteSlice(q *ivy.Proc, i int, src []float64) { q.WriteF64s(a.At(i), src) }
+
 // AllocF64 allocates an n-element shared float64 array.
 func AllocF64(p *ivy.Proc, n int) F64 {
 	return F64{Base: p.MustMalloc(8 * uint64(n))}

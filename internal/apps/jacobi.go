@@ -41,6 +41,9 @@ func RunJacobi(cfg ivy.Config, par JacobiParams) (Result, error) {
 		// runs: a diagonally dominant system with a known solution of
 		// all ones, so b_i = sum_j A_ij.
 		rng := newXorshift(par.Seed)
+		row := make([]float64, n)
+		bv := make([]float64, n)
+		zero := make([]float64, n)
 		for i := 0; i < n; i++ {
 			rowSum := 0.0
 			for j := 0; j < n; j++ {
@@ -48,14 +51,16 @@ func RunJacobi(cfg ivy.Config, par JacobiParams) (Result, error) {
 				if i == j {
 					v += float64(n) // dominance
 				}
-				a.Write(p, i*n+j, v)
+				row[j] = v
 				rowSum += v
-				p.LocalOps(1)
 			}
-			b.Write(p, i, rowSum)
-			x.Write(p, i, 0)
-			xn.Write(p, i, 0)
+			p.LocalOps(n)
+			a.WriteSlice(p, i*n, row)
+			bv[i] = rowSum
 		}
+		b.WriteSlice(p, 0, bv)
+		x.WriteSlice(p, 0, zero)
+		xn.WriteSlice(p, 0, zero)
 
 		bar := NewBarrier(p, procs)
 		done := p.NewEventcount(procs + 1)
@@ -64,21 +69,26 @@ func RunJacobi(cfg ivy.Config, par JacobiParams) (Result, error) {
 			p.CreateOn(w, func(q *ivy.Proc) {
 				lo, hi := splitRange(n, procs, w)
 				src, dst := x, xn
+				// A's rows stream through a reusable buffer: one access
+				// check per page run instead of one per element. The
+				// solution vector stays element-wise — its pages are the
+				// ones that bounce, and each element is read afresh.
+				arow := make([]float64, n)
 				for it := 1; it <= par.Iters; it++ {
 					for i := lo; i < hi; i++ {
 						sum := b.Read(q, i)
+						a.ReadSlice(q, i*n, arow)
 						var aii float64
 						for j := 0; j < n; j++ {
-							aij := a.Read(q, i*n+j)
 							if j == i {
-								aii = aij
+								aii = arow[j]
 								continue
 							}
-							sum -= aij * src.Read(q, j)
-							// A range-checked Pascal multiply-accumulate on
-							// a 68020/68881: ~16 instruction times.
-							q.LocalOps(16)
+							sum -= arow[j] * src.Read(q, j)
 						}
+						// Range-checked Pascal multiply-accumulates on a
+						// 68020/68881: ~16 instruction times each.
+						q.LocalOps(16 * (n - 1))
 						dst.Write(q, i, sum/aii)
 						q.LocalOps(4)
 					}
@@ -95,9 +105,11 @@ func RunJacobi(cfg ivy.Config, par JacobiParams) (Result, error) {
 		if par.Iters%2 == 1 {
 			final = xn
 		}
+		fin := make([]float64, n)
+		final.ReadSlice(p, 0, fin)
 		maxErr := 0.0
 		for i := 0; i < n; i++ {
-			if e := math.Abs(final.Read(p, i) - 1); e > maxErr {
+			if e := math.Abs(fin[i] - 1); e > maxErr {
 				maxErr = e
 			}
 		}

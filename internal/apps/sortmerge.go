@@ -46,11 +46,15 @@ func RunSortMerge(cfg ivy.Config, par SortParams) (Result, error) {
 		keyAt := func(i int) uint64 { return vec + uint64(i*recordSize) }
 		payAt := func(i int) uint64 { return keyAt(i) + 8 }
 
+		// Initialize with one bulk write of the interleaved key/payload
+		// records: one access check per page instead of two per record.
 		rng := newXorshift(par.Seed)
+		init := make([]uint64, 2*par.Records)
 		for i := 0; i < par.Records; i++ {
-			p.WriteU64(keyAt(i), rng.next())
-			p.WriteU64(payAt(i), uint64(i))
+			init[2*i] = rng.next()
+			init[2*i+1] = uint64(i)
 		}
+		p.WriteU64s(vec, init)
 
 		bar := NewBarrier(p, procs)
 		done := p.NewEventcount(procs + 1)
@@ -83,26 +87,26 @@ func RunSortMerge(cfg ivy.Config, par SortParams) (Result, error) {
 						// (2w-1, 2w) high side is ours.
 						if 2*w+2 < blocks {
 							lowAt = (2*w + 1) * blockLen
-							low = computeLow(q, keyAt, payAt, lowAt, blockLen)
+							low = computeLow(q, vec, keyAt, lowAt, blockLen)
 						}
 						if 2*w-1 >= 0 {
 							highAt = (2*w - 1) * blockLen
-							high = computeHigh(q, keyAt, payAt, highAt, blockLen)
+							high = computeHigh(q, vec, keyAt, highAt, blockLen)
 						}
 					} else {
 						// Even pairing (2w, 2w+1): both blocks ours.
 						lowAt = 2 * w * blockLen
 						highAt = lowAt
-						low = computeLow(q, keyAt, payAt, lowAt, blockLen)
-						high = computeHigh(q, keyAt, payAt, highAt, blockLen)
+						low = computeLow(q, vec, keyAt, lowAt, blockLen)
+						high = computeHigh(q, vec, keyAt, highAt, blockLen)
 					}
 					bi++
 					bar.Await(q, bi)
 					if low != nil {
-						writeLow(q, keyAt, payAt, lowAt, low)
+						writeLow(q, vec, lowAt, low)
 					}
 					if high != nil {
-						writeHigh(q, keyAt, payAt, highAt, blockLen, high)
+						writeHigh(q, vec, highAt, blockLen, high)
 					}
 					bi++
 					bar.Await(q, bi)
@@ -112,12 +116,14 @@ func RunSortMerge(cfg ivy.Config, par SortParams) (Result, error) {
 		}
 		done.Wait(p, int64(procs))
 
-		// Verify sortedness and checksum the keys.
+		// Verify sortedness and checksum the keys (bulk read).
+		recs := make([]uint64, 2*par.Records)
+		p.ReadU64s(vec, recs)
 		sortedOK = true
 		prev := uint64(0)
 		var sum float64
 		for i := 0; i < par.Records; i++ {
-			k := p.ReadU64(keyAt(i))
+			k := recs[2*i]
 			if k < prev {
 				sortedOK = false
 			}
@@ -207,23 +213,33 @@ func pairOrdered(q *ivy.Proc, keyAt func(int) uint64, lo, n int) bool {
 	return q.ReadU64(keyAt(lo+n-1)) <= q.ReadU64(keyAt(lo+n))
 }
 
+// readPair bulk-reads the 2n interleaved records of the pair starting
+// at lo into a fresh slice: one access check per page run, and each
+// record crosses the SVM exactly once per merge instead of once per
+// comparison plus once per copy.
+func readPair(q *ivy.Proc, vec uint64, lo, n int) []uint64 {
+	buf := make([]uint64, 4*n)
+	q.ReadU64s(vec+uint64(lo*recordSize), buf)
+	return buf
+}
+
 // computeLow merges the pair starting at lo into scratch and returns
 // the lowest n records, or nil when the pair is already ordered. Reads
 // only.
-func computeLow(q *ivy.Proc, keyAt, payAt func(int) uint64, lo, n int) []mergedRec {
+func computeLow(q *ivy.Proc, vec uint64, keyAt func(int) uint64, lo, n int) []mergedRec {
 	if pairOrdered(q, keyAt, lo, n) {
 		return nil
 	}
+	buf := readPair(q, vec, lo, n)
 	out := make([]mergedRec, 0, n)
-	i, j := lo, lo+n
-	endI, endJ := lo+n, lo+2*n
+	i, j := 0, n
 	for len(out) < n {
 		q.LocalOps(60) // character-loop string comparison on the 68020
-		if j >= endJ || (i < endI && q.ReadU64(keyAt(i)) <= q.ReadU64(keyAt(j))) {
-			out = append(out, mergedRec{q.ReadU64(keyAt(i)), q.ReadU64(payAt(i))})
+		if j >= 2*n || (i < n && buf[2*i] <= buf[2*j]) {
+			out = append(out, mergedRec{buf[2*i], buf[2*i+1]})
 			i++
 		} else {
-			out = append(out, mergedRec{q.ReadU64(keyAt(j)), q.ReadU64(payAt(j))})
+			out = append(out, mergedRec{buf[2*j], buf[2*j+1]})
 			j++
 		}
 	}
@@ -232,41 +248,47 @@ func computeLow(q *ivy.Proc, keyAt, payAt func(int) uint64, lo, n int) []mergedR
 
 // computeHigh returns the highest n records of the pair starting at lo,
 // in descending order, or nil when already ordered. Reads only.
-func computeHigh(q *ivy.Proc, keyAt, payAt func(int) uint64, lo, n int) []mergedRec {
+func computeHigh(q *ivy.Proc, vec uint64, keyAt func(int) uint64, lo, n int) []mergedRec {
 	if pairOrdered(q, keyAt, lo, n) {
 		return nil
 	}
+	buf := readPair(q, vec, lo, n)
 	out := make([]mergedRec, 0, n)
-	i, j := lo+n-1, lo+2*n-1
+	i, j := n-1, 2*n-1
 	for len(out) < n {
 		q.LocalOps(20)
-		if j < lo+n || (i >= lo && q.ReadU64(keyAt(i)) > q.ReadU64(keyAt(j))) {
-			out = append(out, mergedRec{q.ReadU64(keyAt(i)), q.ReadU64(payAt(i))})
+		if j < n || (i >= 0 && buf[2*i] > buf[2*j]) {
+			out = append(out, mergedRec{buf[2*i], buf[2*i+1]})
 			i--
 		} else {
-			out = append(out, mergedRec{q.ReadU64(keyAt(j)), q.ReadU64(payAt(j))})
+			out = append(out, mergedRec{buf[2*j], buf[2*j+1]})
 			j--
 		}
 	}
 	return out
 }
 
-// writeLow stores a computed low half into the left block at lo.
-func writeLow(q *ivy.Proc, keyAt, payAt func(int) uint64, lo int, recs []mergedRec) {
+// writeLow stores a computed low half into the left block at lo with one
+// bulk write of the interleaved records.
+func writeLow(q *ivy.Proc, vec uint64, lo int, recs []mergedRec) {
+	q.LocalOps(100 * len(recs)) // byte-loop copies of string records
+	buf := make([]uint64, 2*len(recs))
 	for k, r := range recs {
-		q.LocalOps(100) // byte-loop copy of a string record
-		q.WriteU64(keyAt(lo+k), r.key)
-		q.WriteU64(payAt(lo+k), r.pay)
+		buf[2*k] = r.key
+		buf[2*k+1] = r.pay
 	}
+	q.WriteU64s(vec+uint64(lo*recordSize), buf)
 }
 
 // writeHigh stores a computed (descending) high half into the right
 // block of the pair at lo.
-func writeHigh(q *ivy.Proc, keyAt, payAt func(int) uint64, lo, n int, recs []mergedRec) {
+func writeHigh(q *ivy.Proc, vec uint64, lo, n int, recs []mergedRec) {
+	q.LocalOps(100 * len(recs))
+	buf := make([]uint64, 2*len(recs))
 	for k, r := range recs {
-		q.LocalOps(100)
-		idx := lo + 2*n - 1 - k
-		q.WriteU64(keyAt(idx), r.key)
-		q.WriteU64(payAt(idx), r.pay)
+		idx := len(recs) - 1 - k // ascending position within the block
+		buf[2*idx] = r.key
+		buf[2*idx+1] = r.pay
 	}
+	q.WriteU64s(vec+uint64((lo+n)*recordSize), buf)
 }

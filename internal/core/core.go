@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/disk"
@@ -54,6 +55,24 @@ type Ctx interface {
 	Charge(d time.Duration)
 	// Flush settles accumulated charges; called before blocking.
 	Flush()
+	// TLB returns the context's software translation cache, or nil for
+	// contexts that take the checked path on every access (see tlb.go).
+	TLB() *TLB
+}
+
+// chargeAccess performs the per-access compute charge. With a TLB the
+// charge lands inline on the owner's debt accumulator and ctx is
+// consulted only when a full quantum must settle; without one it is an
+// ordinary dynamic charge.
+func chargeAccess(ctx Ctx, t *TLB, d time.Duration) {
+	if t != nil {
+		*t.debt += d
+		if *t.debt >= t.quantum {
+			ctx.Flush()
+		}
+		return
+	}
+	ctx.Charge(d)
 }
 
 // ChargeCtx is the canonical Ctx: it batches charges and holds the node
@@ -64,6 +83,7 @@ type ChargeCtx struct {
 	cpu     *sim.Resource
 	quantum time.Duration
 	debt    time.Duration
+	tlb     *TLB
 }
 
 // NewChargeCtx builds a charging context for a fiber running on the node
@@ -72,11 +92,16 @@ func NewChargeCtx(f *sim.Fiber, cpu *sim.Resource, quantum time.Duration) *Charg
 	if quantum <= 0 {
 		panic("core: non-positive compute quantum")
 	}
-	return &ChargeCtx{fiber: f, cpu: cpu, quantum: quantum}
+	c := &ChargeCtx{fiber: f, cpu: cpu, quantum: quantum}
+	c.tlb = NewTLB(&c.debt, quantum)
+	return c
 }
 
 // Fiber returns the underlying fiber.
 func (c *ChargeCtx) Fiber() *sim.Fiber { return c.fiber }
+
+// TLB returns the context's translation cache.
+func (c *ChargeCtx) TLB() *TLB { return c.tlb }
 
 // Charge accumulates compute time, settling a full quantum when reached.
 func (c *ChargeCtx) Charge(d time.Duration) {
@@ -145,10 +170,32 @@ type SVM struct {
 	pageSize int
 	numPages int
 
+	// pageShift/pageMask/limit precompute the page-size divide and
+	// modulo (page sizes are powers of two) and the end of the shared
+	// space, keeping the access fast path free of integer division and
+	// multiplication.
+	pageShift uint
+	pageMask  int
+	limit     uint64
+	size      uint64 // limit - base: one-compare bounds check on the fast path
+
+	// shootGen is the node's TLB-shootdown epoch. Every transition that
+	// lowers any page's protection or drops a frame increments it (see
+	// tlbShoot), invalidating — in O(1), with no registry of caches —
+	// every software-TLB way filled before the transition. Coarser than
+	// a per-page counter, but shootdowns are protocol events (orders of
+	// magnitude rarer than accesses), extra TLB misses never change
+	// simulated behavior, and the epoch compare is a load from the SVM
+	// the fast path already holds instead of a chase through the entry.
+	shootGen uint64
+
 	table *mmu.Table
-	pool  *memfs.Pool
-	dsk   *disk.Disk
-	mgr   manager
+	// pool is embedded by value: the TLB hit path compares the LRU front
+	// against the cached frame on every access, and a value field makes
+	// that one load instead of a pointer chase.
+	pool memfs.Pool
+	dsk  *disk.Disk
+	mgr  manager
 
 	numNodes     int
 	defaultOwner ring.NodeID
@@ -193,7 +240,11 @@ func New(eng *sim.Engine, ep *remop.Endpoint, cpu *sim.Resource, cfg Config, st 
 		bcastInval:   cfg.BroadcastInvalidation,
 		st:           st,
 	}
-	s.pool = memfs.NewPool(cfg.MemPages, s.onEvict, s.canEvict)
+	s.pageShift = uint(bits.TrailingZeros(uint(cfg.PageSize)))
+	s.pageMask = cfg.PageSize - 1
+	s.limit = base + uint64(cfg.NumPages)*uint64(cfg.PageSize)
+	s.size = s.limit - base
+	s.pool.Init(cfg.MemPages, s.onEvict, s.canEvict)
 	s.mgr = newManager(cfg.Algorithm, s, cfg.DefaultOwner)
 	s.installHandlers()
 	return s
@@ -212,13 +263,13 @@ func (s *SVM) NumPages() int { return s.numPages }
 func (s *SVM) Base() uint64 { return s.base }
 
 // Limit returns one past the last shared address.
-func (s *SVM) Limit() uint64 { return s.base + uint64(s.numPages)*uint64(s.pageSize) }
+func (s *SVM) Limit() uint64 { return s.limit }
 
 // Table exposes the page table for tests and migration.
 func (s *SVM) Table() *mmu.Table { return s.table }
 
 // Pool exposes the frame pool for snapshots.
-func (s *SVM) Pool() *memfs.Pool { return s.pool }
+func (s *SVM) Pool() *memfs.Pool { return &s.pool }
 
 // Disk exposes the paging disk for snapshots.
 func (s *SVM) Disk() *disk.Disk { return s.dsk }
@@ -293,7 +344,7 @@ func (s *SVM) PageOf(addr uint64) mmu.PageID {
 	if addr < s.base || addr >= s.Limit() {
 		panic(fmt.Sprintf("core: address %#x outside shared space [%#x,%#x)", addr, s.base, s.Limit()))
 	}
-	return mmu.PageID((addr - s.base) / uint64(s.pageSize))
+	return mmu.PageID((addr - s.base) >> s.pageShift)
 }
 
 // PageAddr returns the first address of page p.
@@ -312,7 +363,15 @@ func (s *SVM) onEvict(f *sim.Fiber, p mmu.PageID, data []byte) {
 		e.Dirty = false
 	}
 	e.Access = mmu.AccessNil
+	s.tlbShoot() // the frame is gone
 }
+
+// tlbShoot invalidates every translation cached by this node's software
+// TLBs by advancing the shootdown epoch. Called at every transition
+// that lowers a page's protection or removes its frame; raising
+// protection never shoots, because a cached translation can only ever
+// under-promise rights.
+func (s *SVM) tlbShoot() { s.shootGen++ }
 
 // canEvict pins pages whose fault lock is held: a frame mid-transfer
 // must not be reclaimed under the protocol.

@@ -29,7 +29,7 @@ func (s *SVM) ReadBytes(ctx Ctx, addr uint64, n int) []byte {
 	for off < n {
 		a := addr + uint64(off)
 		p := s.PageOf(a)
-		po := int(a-s.base) % s.pageSize
+		po := int(a-s.base) & s.pageMask
 		chunk := s.pageSize - po
 		if chunk > n-off {
 			chunk = n - off
@@ -53,7 +53,7 @@ func (s *SVM) WriteBytes(ctx Ctx, addr uint64, data []byte) {
 	for off < len(data) {
 		a := addr + uint64(off)
 		p := s.PageOf(a)
-		po := int(a-s.base) % s.pageSize
+		po := int(a-s.base) & s.pageMask
 		chunk := s.pageSize - po
 		if chunk > len(data)-off {
 			chunk = len(data) - off
@@ -67,12 +67,136 @@ func (s *SVM) WriteBytes(ctx Ctx, addr uint64, data []byte) {
 	}
 }
 
+// --- Bulk word access ---------------------------------------------------
+//
+// The bulk accessors check access once per page run instead of once per
+// word — the simulator's analogue of block transfer. Compute charges are
+// word-for-word identical to the equivalent scalar loop (the accessor
+// charges one MemRef; the remaining words of the run are charged in one
+// batch), so porting a program to the bulk API changes its wall-clock
+// cost, not its simulated cost.
+
+// alignedWords validates an 8-aligned bulk span and returns the page,
+// page offset, and number of words that fit in the page run.
+func (s *SVM) alignedWords(addr uint64, remaining int) (mmu.PageID, int, int) {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("core: bulk word access at unaligned address %#x", addr))
+	}
+	p := s.PageOf(addr)
+	po := int(addr-s.base) & s.pageMask
+	words := (s.pageSize - po) / 8
+	if words > remaining {
+		words = remaining
+	}
+	return p, po, words
+}
+
+// ReadU64s fills dst with consecutive little-endian words starting at
+// addr (8-aligned), faulting page by page.
+func (s *SVM) ReadU64s(ctx Ctx, addr uint64, dst []uint64) {
+	off := 0
+	for off < len(dst) {
+		p, po, words := s.alignedWords(addr+uint64(off)*8, len(dst)-off)
+		frame := s.frameForRead(ctx, p)
+		for i := 0; i < words; i++ {
+			dst[off+i] = binary.LittleEndian.Uint64(frame[po+8*i:])
+		}
+		if words > 1 {
+			ctx.Charge(time.Duration(words-1) * s.costs.MemRef)
+		}
+		off += words
+	}
+}
+
+// WriteU64s stores src as consecutive little-endian words starting at
+// addr (8-aligned), faulting for ownership page by page.
+func (s *SVM) WriteU64s(ctx Ctx, addr uint64, src []uint64) {
+	off := 0
+	for off < len(src) {
+		p, po, words := s.alignedWords(addr+uint64(off)*8, len(src)-off)
+		frame := s.frameForWrite(ctx, p)
+		for i := 0; i < words; i++ {
+			binary.LittleEndian.PutUint64(frame[po+8*i:], src[off+i])
+		}
+		if words > 1 {
+			ctx.Charge(time.Duration(words-1) * s.costs.MemRef)
+		}
+		off += words
+	}
+}
+
+// ReadF64s fills dst with consecutive float64s starting at addr.
+func (s *SVM) ReadF64s(ctx Ctx, addr uint64, dst []float64) {
+	off := 0
+	for off < len(dst) {
+		p, po, words := s.alignedWords(addr+uint64(off)*8, len(dst)-off)
+		frame := s.frameForRead(ctx, p)
+		for i := 0; i < words; i++ {
+			dst[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(frame[po+8*i:]))
+		}
+		if words > 1 {
+			ctx.Charge(time.Duration(words-1) * s.costs.MemRef)
+		}
+		off += words
+	}
+}
+
+// WriteF64s stores src as consecutive float64s starting at addr.
+func (s *SVM) WriteF64s(ctx Ctx, addr uint64, src []float64) {
+	off := 0
+	for off < len(src) {
+		p, po, words := s.alignedWords(addr+uint64(off)*8, len(src)-off)
+		frame := s.frameForWrite(ctx, p)
+		for i := 0; i < words; i++ {
+			binary.LittleEndian.PutUint64(frame[po+8*i:], math.Float64bits(src[off+i]))
+		}
+		if words > 1 {
+			ctx.Charge(time.Duration(words-1) * s.costs.MemRef)
+		}
+		off += words
+	}
+}
+
+// CopyWords copies n 8-byte words from src to dst inside shared memory,
+// checking both pages once per run. Overlapping ranges copy as memmove
+// would. The write fault for the destination can steal the source page
+// mid-run (faulting yields the engine), so the source is revalidated
+// after the destination is secured and the run retried if it was lost.
+func (s *SVM) CopyWords(ctx Ctx, dst, src uint64, n int) {
+	off := 0
+	for off < n {
+		sp, spo, words := s.alignedWords(src+uint64(off)*8, n-off)
+		dp, dpo, dwords := s.alignedWords(dst+uint64(off)*8, words)
+		words = dwords
+		srcFrame := s.frameForRead(ctx, sp)
+		dstFrame := s.frameForWrite(ctx, dp)
+		if dp != sp {
+			// Revalidate the source: the destination fault may have
+			// invalidated or evicted it while this fiber was blocked.
+			if s.table.Entry(sp).Access == mmu.AccessNil {
+				continue
+			}
+			srcFrame = s.pool.Peek(sp)
+			if srcFrame == nil {
+				continue
+			}
+		} else {
+			srcFrame = dstFrame
+		}
+		copy(dstFrame[dpo:dpo+8*words], srcFrame[spo:spo+8*words])
+		if words > 1 {
+			ctx.Charge(time.Duration(2*(words-1)) * s.costs.MemRef)
+		}
+		off += words
+	}
+}
+
 // scalarSpan locates addr..addr+n within one page, panicking on scalar
 // accesses that straddle a page boundary (the allocator aligns blocks,
 // so a straddle is a client addressing bug worth failing loudly on).
 func (s *SVM) scalarSpan(addr uint64, n int) (mmu.PageID, int) {
 	p := s.PageOf(addr)
-	po := int(addr-s.base) % s.pageSize
+	po := int(addr-s.base) & s.pageMask
 	if po+n > s.pageSize {
 		panic(fmt.Sprintf("core: %d-byte scalar at %#x crosses a page boundary", n, addr))
 	}
@@ -81,16 +205,158 @@ func (s *SVM) scalarSpan(addr uint64, n int) (mmu.PageID, int) {
 
 // ReadU64 reads a little-endian 64-bit word.
 func (s *SVM) ReadU64(ctx Ctx, addr uint64) uint64 {
+	return s.ReadU64T(ctx.TLB(), ctx, addr)
+}
+
+// ReadU64T is ReadU64 with the context's translation cache resolved by
+// the caller: t must be ctx.TLB() (nil is fine). Callers holding the
+// concrete context — the facade — resolve t without going through the
+// interface, which keeps the hit path entirely free of dynamic
+// dispatch: the compute charge lands on the TLB's debt accumulator, and
+// ctx is consulted only to settle a full quantum or on the checked
+// path.
+//
+// The word accessors inline the probe by hand (it is the simulator's
+// single hottest code path, and TLB.hit is past the compiler's inlining
+// budget). The logic must stay line-for-line equivalent to TLB.hit; the
+// read variant may skip the mode compare because every filled way
+// grants at least read (see TLB.fill's callers), and the sentinel page
+// in empty ways stands in for the nil-entry check. The charge precedes
+// the probe: settling a quantum can yield the engine, and a shootdown
+// landing in that window must be observed by the validity check.
+// It is split in two: ReadU64T itself contains no function calls, so
+// the register allocator spills nothing on the straight-line hit; every
+// case that must call — a due quantum settle, an LRU splice for a frame
+// not already at the front, a probe miss, a TLB-less context — tail-
+// calls the slow variant, which redoes the probe with the calls in
+// place (re-probing is safe: nothing between the two probes can yield).
+func (s *SVM) ReadU64T(t *TLB, ctx Ctx, addr uint64) uint64 {
+	s.st.SVM.ReadAccesses++
+	if t != nil {
+		d := *t.debt + s.costs.MemRef
+		*t.debt = d
+		if d < t.quantum && t.svm == s {
+			if off := addr - s.base; off < s.size {
+				po := int(off) & s.pageMask
+				p := mmu.PageID(off >> (s.pageShift & 63)) // &63 elides the shift guard
+				w := &t.ways[int(p)&tlbMask]
+				// Comparing the span against len(w.data) (== pageSize for
+				// any filled way) both rejects page-crossing scalars and
+				// lets the compiler drop the slice bounds checks below.
+				if w.page == p && w.gen == s.shootGen && po+8 <= len(w.data) && s.pool.Front() == w.fr {
+					t.hits++
+					return binary.LittleEndian.Uint64(w.data[po : po+8])
+				}
+			}
+		}
+	}
+	return s.readU64TSlow(t, ctx, addr)
+}
+
+// readU64TSlow finishes a read the call-free fast path could not: the
+// per-access charge has already landed when t is non-nil (a due settle
+// has not run yet); for nil t nothing is charged.
+func (s *SVM) readU64TSlow(t *TLB, ctx Ctx, addr uint64) uint64 {
+	if t == nil {
+		ctx.Charge(s.costs.MemRef)
+		return s.readU64Checked(ctx, nil, addr)
+	}
+	if *t.debt >= t.quantum {
+		ctx.Flush()
+	}
+	if t.svm == s {
+		if off := addr - s.base; off < s.size {
+			po := int(off) & s.pageMask
+			p := mmu.PageID(off >> (s.pageShift & 63))
+			w := &t.ways[int(p)&tlbMask]
+			if w.page == p && w.gen == s.shootGen && po+8 <= len(w.data) {
+				t.hits++
+				if s.pool.Front() != w.fr {
+					s.pool.TouchFrame(w.fr)
+				}
+				return binary.LittleEndian.Uint64(w.data[po : po+8])
+			}
+		}
+	}
+	return s.readU64Checked(ctx, t, addr)
+}
+
+// readU64Checked is ReadU64's table-walk tail (reference counted and
+// charged by the caller).
+func (s *SVM) readU64Checked(ctx Ctx, t *TLB, addr uint64) uint64 {
+	if t != nil {
+		t.misses++
+	}
 	p, po := s.scalarSpan(addr, 8)
-	frame := s.frameForRead(ctx, p)
-	return binary.LittleEndian.Uint64(frame[po:])
+	return binary.LittleEndian.Uint64(s.frameForReadChecked(ctx, t, p)[po:])
 }
 
 // WriteU64 writes a little-endian 64-bit word.
 func (s *SVM) WriteU64(ctx Ctx, addr uint64, v uint64) {
+	s.WriteU64T(ctx.TLB(), ctx, addr, v)
+}
+
+// WriteU64T is WriteU64 with the translation cache resolved by the
+// caller; see ReadU64T (including the call-free/slow split).
+func (s *SVM) WriteU64T(t *TLB, ctx Ctx, addr uint64, v uint64) {
+	s.st.SVM.WriteAccesses++
+	if t != nil {
+		d := *t.debt + s.costs.MemRef
+		*t.debt = d
+		if d < t.quantum && t.svm == s {
+			if off := addr - s.base; off < s.size {
+				po := int(off) & s.pageMask
+				p := mmu.PageID(off >> (s.pageShift & 63)) // &63 elides the shift guard
+				w := &t.ways[int(p)&tlbMask]
+				if w.page == p && w.mode == mmu.AccessWrite && w.gen == s.shootGen && po+8 <= len(w.data) && s.pool.Front() == w.fr {
+					w.e.Dirty = true // mirror the checked write path
+					t.hits++
+					binary.LittleEndian.PutUint64(w.data[po:po+8], v)
+					return
+				}
+			}
+		}
+	}
+	s.writeU64TSlow(t, ctx, addr, v)
+}
+
+// writeU64TSlow finishes a write the call-free fast path could not; see
+// readU64TSlow.
+func (s *SVM) writeU64TSlow(t *TLB, ctx Ctx, addr uint64, v uint64) {
+	if t == nil {
+		ctx.Charge(s.costs.MemRef)
+		s.writeU64Checked(ctx, nil, addr, v)
+		return
+	}
+	if *t.debt >= t.quantum {
+		ctx.Flush()
+	}
+	if t.svm == s {
+		if off := addr - s.base; off < s.size {
+			po := int(off) & s.pageMask
+			p := mmu.PageID(off >> (s.pageShift & 63))
+			w := &t.ways[int(p)&tlbMask]
+			if w.page == p && w.mode == mmu.AccessWrite && w.gen == s.shootGen && po+8 <= len(w.data) {
+				w.e.Dirty = true // mirror the checked write path
+				t.hits++
+				if s.pool.Front() != w.fr {
+					s.pool.TouchFrame(w.fr)
+				}
+				binary.LittleEndian.PutUint64(w.data[po:po+8], v)
+				return
+			}
+		}
+	}
+	s.writeU64Checked(ctx, t, addr, v)
+}
+
+// writeU64Checked is WriteU64's table-walk tail.
+func (s *SVM) writeU64Checked(ctx Ctx, t *TLB, addr uint64, v uint64) {
+	if t != nil {
+		t.misses++
+	}
 	p, po := s.scalarSpan(addr, 8)
-	frame := s.frameForWrite(ctx, p)
-	binary.LittleEndian.PutUint64(frame[po:], v)
+	binary.LittleEndian.PutUint64(s.frameForWriteChecked(ctx, t, p)[po:], v)
 }
 
 // ReadI64 reads a 64-bit signed integer.
@@ -122,28 +388,60 @@ func (s *SVM) WriteF32(ctx Ctx, addr uint64, v float32) {
 
 // ReadU32 reads a little-endian 32-bit word.
 func (s *SVM) ReadU32(ctx Ctx, addr uint64) uint32 {
+	s.st.SVM.ReadAccesses++
+	t := ctx.TLB()
+	chargeAccess(ctx, t, s.costs.MemRef)
+	if t != nil {
+		if fr, po := t.hit(s, addr, 4, mmu.AccessRead); fr != nil {
+			return binary.LittleEndian.Uint32(fr[po:])
+		}
+	}
 	p, po := s.scalarSpan(addr, 4)
-	frame := s.frameForRead(ctx, p)
-	return binary.LittleEndian.Uint32(frame[po:])
+	return binary.LittleEndian.Uint32(s.frameForReadChecked(ctx, t, p)[po:])
 }
 
 // WriteU32 writes a little-endian 32-bit word.
 func (s *SVM) WriteU32(ctx Ctx, addr uint64, v uint32) {
+	s.st.SVM.WriteAccesses++
+	t := ctx.TLB()
+	chargeAccess(ctx, t, s.costs.MemRef)
+	if t != nil {
+		if fr, po := t.hit(s, addr, 4, mmu.AccessWrite); fr != nil {
+			binary.LittleEndian.PutUint32(fr[po:], v)
+			return
+		}
+	}
 	p, po := s.scalarSpan(addr, 4)
-	frame := s.frameForWrite(ctx, p)
-	binary.LittleEndian.PutUint32(frame[po:], v)
+	binary.LittleEndian.PutUint32(s.frameForWriteChecked(ctx, t, p)[po:], v)
 }
 
 // ReadU8 reads one byte.
 func (s *SVM) ReadU8(ctx Ctx, addr uint64) uint8 {
+	s.st.SVM.ReadAccesses++
+	t := ctx.TLB()
+	chargeAccess(ctx, t, s.costs.MemRef)
+	if t != nil {
+		if fr, po := t.hit(s, addr, 1, mmu.AccessRead); fr != nil {
+			return fr[po]
+		}
+	}
 	p, po := s.scalarSpan(addr, 1)
-	return s.frameForRead(ctx, p)[po]
+	return s.frameForReadChecked(ctx, t, p)[po]
 }
 
 // WriteU8 writes one byte.
 func (s *SVM) WriteU8(ctx Ctx, addr uint64, v uint8) {
+	s.st.SVM.WriteAccesses++
+	t := ctx.TLB()
+	chargeAccess(ctx, t, s.costs.MemRef)
+	if t != nil {
+		if fr, po := t.hit(s, addr, 1, mmu.AccessWrite); fr != nil {
+			fr[po] = v
+			return
+		}
+	}
 	p, po := s.scalarSpan(addr, 1)
-	s.frameForWrite(ctx, p)[po] = v
+	s.frameForWriteChecked(ctx, t, p)[po] = v
 }
 
 // TestAndSet atomically sets the byte at addr to 1, returning true if it
@@ -173,14 +471,34 @@ func (s *SVM) Clear(ctx Ctx, addr uint64) {
 	frame[po] = 0
 }
 
-// frameForRead returns page p's frame with at least read access.
+// frameForRead returns page p's frame with at least read access. The
+// charge precedes the TLB lookup and the table check alike: a charge
+// can flush a compute quantum (yielding the engine), and any shootdown
+// that lands in that window must be observed by the validity check.
 func (s *SVM) frameForRead(ctx Ctx, p mmu.PageID) []byte {
 	s.st.SVM.ReadAccesses++
-	ctx.Charge(s.costs.MemRef)
+	t := ctx.TLB()
+	chargeAccess(ctx, t, s.costs.MemRef)
+	if t != nil {
+		if fr := t.lookup(s, p, mmu.AccessRead); fr != nil {
+			s.pool.TouchFrame(fr) // same LRU update a map-lookup hit performs
+			return fr.Data()
+		}
+	}
+	return s.frameForReadChecked(ctx, t, p)
+}
+
+// frameForReadChecked is the table-walk tail of a read access: the
+// reference is already counted and charged (and the TLB probed, when t
+// is non-nil — a successful walk refills it).
+func (s *SVM) frameForReadChecked(ctx Ctx, t *TLB, p mmu.PageID) []byte {
 	e := s.table.Entry(p)
 	if e.Access != mmu.AccessNil {
-		if frame := s.pool.Get(p); frame != nil {
-			return frame
+		if fr := s.pool.GetFrame(p); fr != nil {
+			if t != nil {
+				t.fill(s, p, e, fr, e.Access)
+			}
+			return fr.Data()
 		}
 	}
 	return s.slowPath(ctx, p, false)
@@ -189,14 +507,29 @@ func (s *SVM) frameForRead(ctx Ctx, p mmu.PageID) []byte {
 // frameForWrite returns page p's frame with write access.
 func (s *SVM) frameForWrite(ctx Ctx, p mmu.PageID) []byte {
 	s.st.SVM.WriteAccesses++
-	ctx.Charge(s.costs.MemRef)
+	t := ctx.TLB()
+	chargeAccess(ctx, t, s.costs.MemRef)
+	if t != nil {
+		if fr := t.lookup(s, p, mmu.AccessWrite); fr != nil {
+			s.pool.TouchFrame(fr)
+			return fr.Data()
+		}
+	}
+	return s.frameForWriteChecked(ctx, t, p)
+}
+
+// frameForWriteChecked is the table-walk tail of a write access.
+func (s *SVM) frameForWriteChecked(ctx Ctx, t *TLB, p mmu.PageID) []byte {
 	e := s.table.Entry(p)
 	if e.Access == mmu.AccessWrite {
-		if frame := s.pool.Get(p); frame != nil {
+		if fr := s.pool.GetFrame(p); fr != nil {
 			if !e.Dirty {
 				e.Dirty = true
 			}
-			return frame
+			if t != nil {
+				t.fill(s, p, e, fr, mmu.AccessWrite)
+			}
+			return fr.Data()
 		}
 	}
 	return s.slowPath(ctx, p, true)
@@ -391,7 +724,8 @@ func (s *SVM) invalidate(f *sim.Fiber, p mmu.PageID, cs mmu.Copyset) {
 	if cs.Empty() {
 		return
 	}
-	members := cs.Members()
+	var buf [wire.MaxNodes]ring.NodeID
+	members := cs.AppendTo(buf[:0])
 	s.st.SVM.InvalSent += uint64(len(members))
 	start := s.eng.Now()
 	span, prevTrc := s.beginPhase(f, trace.PhaseInval, p, "")
@@ -439,6 +773,7 @@ func (s *SVM) residentFrame(f *sim.Fiber, p mmu.PageID) []byte {
 func (s *SVM) takeData(f *sim.Fiber, p mmu.PageID) []byte {
 	if frame := s.pool.Peek(p); frame != nil {
 		s.pool.Drop(p)
+		s.tlbShoot() // the frame left the pool
 		return frame
 	}
 	if s.dsk.Has(p) {
@@ -468,6 +803,10 @@ func (s *SVM) serveRead(f *sim.Fiber, origin ring.NodeID, p mmu.PageID) *wire.Pa
 	e.Copyset = e.Copyset.Add(origin)
 	// The owner keeps the page with read access — downgraded from write,
 	// or restored after residentFrame paged an evicted page back in.
+	// Cached write-mode translations must not survive the downgrade.
+	if e.Access == mmu.AccessWrite {
+		s.tlbShoot()
+	}
 	e.Access = mmu.AccessRead
 	chargeCPU(f, s.cpu, s.costs.PageCopy)
 	data := make([]byte, len(frame))
@@ -496,6 +835,7 @@ func (s *SVM) serveWrite(f *sim.Fiber, origin ring.NodeID, p mmu.PageID) *wire.P
 	e.Copyset = 0
 	e.IsOwner = false
 	e.Access = mmu.AccessNil
+	s.tlbShoot() // all local rights revoked
 	e.Dirty = false
 	e.ProbOwner = origin
 	s.dsk.Drop(p)
@@ -541,6 +881,7 @@ func (s *SVM) handleInvalidate(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 		e.InvalWhileFaulting = true
 	}
 	e.Access = mmu.AccessNil
+	s.tlbShoot() // the read copy dies
 	e.ProbOwner = ring.NodeID(m.NewOwner)
 	s.pool.Drop(p)
 	return &wire.InvalidateAck{Page: m.Page}

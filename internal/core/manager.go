@@ -314,8 +314,10 @@ func (m *directoryMgr) confirmRead(p mmu.PageID) {
 		m.dir.Unlock(p)
 		return
 	}
-	// Owner unchanged: re-record the current owner as a no-op.
-	s.ep.NotifyReliable(mgr, &wire.MgrConfirm{Page: uint32(p), NewOwner: uint16(s.table.Entry(p).ProbOwner)})
+	// Ownership is unchanged by a read, and this node does not know the
+	// authoritative owner (only a probOwner hint, which a concurrent
+	// invalidation may have redirected mid-fault): unlock only.
+	s.ep.NotifyReliable(mgr, &wire.MgrConfirm{Page: uint32(p), ReadOnly: true})
 }
 
 // confirmWrite completes a write transfer: this node is the new owner.
@@ -360,7 +362,9 @@ func (m *directoryMgr) install() {
 		if m.dir == nil || m.managerOf(p) != s.node {
 			panic(fmt.Sprintf("core: node %d received confirm for page %d it does not manage", s.node, p))
 		}
-		m.dir.SetOwner(p, ring.NodeID(c.NewOwner))
+		if !c.ReadOnly {
+			m.dir.SetOwner(p, ring.NodeID(c.NewOwner))
+		}
 		if !c.Migration {
 			m.dir.Unlock(p)
 		}
@@ -531,6 +535,7 @@ func (m *basicMgr) managerInvalidate(f *sim.Fiber, p mmu.PageID, keep ring.NodeI
 		e := s.table.Entry(p)
 		if !e.IsOwner {
 			e.Access = mmu.AccessNil
+			s.tlbShoot() // the manager's read copy dies
 			s.pool.Drop(p)
 		}
 		cs = cs.Remove(s.node)
@@ -538,8 +543,10 @@ func (m *basicMgr) managerInvalidate(f *sim.Fiber, p mmu.PageID, keep ring.NodeI
 	if !cs.Empty() {
 		s.st.SVM.InvalSent += uint64(cs.Count())
 		req := &wire.InvalidateReq{Page: uint32(p), NewOwner: uint16(keep)}
+		var buf [wire.MaxNodes]ring.NodeID
+		members := cs.AppendTo(buf[:0])
 		for {
-			if _, err := s.ep.CallMany(f, cs.Members(), req); err == nil {
+			if _, err := s.ep.CallMany(f, members, req); err == nil {
 				break
 			}
 		}
@@ -599,7 +606,9 @@ func (m *basicMgr) confirmRead(p mmu.PageID) {
 		m.dir.Unlock(p)
 		return
 	}
-	s.ep.NotifyReliable(m.central, &wire.MgrConfirm{Page: uint32(p), NewOwner: uint16(s.table.Entry(p).ProbOwner)})
+	// Unlock only: a read moves no ownership, and our probOwner hint may
+	// be stale (see directoryMgr.confirmRead).
+	s.ep.NotifyReliable(m.central, &wire.MgrConfirm{Page: uint32(p), ReadOnly: true})
 }
 
 func (m *basicMgr) confirmWrite(p mmu.PageID) {
@@ -731,7 +740,9 @@ func (m *basicMgr) install() {
 		if !m.isManager() {
 			panic(fmt.Sprintf("core: node %d received confirm but is not the manager", s.node))
 		}
-		m.dir.SetOwner(mmu.PageID(c.Page), ring.NodeID(c.NewOwner))
+		if !c.ReadOnly {
+			m.dir.SetOwner(mmu.PageID(c.Page), ring.NodeID(c.NewOwner))
+		}
 		if !c.Migration {
 			m.dir.Unlock(mmu.PageID(c.Page))
 		}

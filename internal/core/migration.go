@@ -32,6 +32,7 @@ func (s *SVM) ReleasePageForMigration(f *sim.Fiber, pg mmu.PageID, dst ring.Node
 	} else {
 		s.pool.Drop(pg)
 		s.dsk.Drop(pg)
+		s.tlbShoot() // the frame left the pool
 	}
 	// Copies of a migrating stack page are not invalidated here: the
 	// copyset travels nowhere, so hand the destination a fresh exclusive
@@ -46,6 +47,7 @@ func (s *SVM) ReleasePageForMigration(f *sim.Fiber, pg mmu.PageID, dst ring.Node
 	}
 	e.IsOwner = false
 	e.Access = mmu.AccessNil
+	s.tlbShoot() // rights left with the migrating process
 	e.Dirty = false
 	e.ProbOwner = dst
 	return data, true
@@ -72,6 +74,7 @@ func (s *SVM) AdoptPage(f *sim.Fiber, pg mmu.PageID, data []byte) {
 	}
 	s.pool.Drop(pg)
 	e.Access = mmu.AccessNil
+	s.tlbShoot() // adopted without contents
 	e.Dirty = false
 }
 

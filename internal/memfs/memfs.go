@@ -10,7 +10,6 @@
 package memfs
 
 import (
-	"container/list"
 	"fmt"
 
 	"repro/internal/mmu"
@@ -24,37 +23,95 @@ type EvictFunc func(f *sim.Fiber, p mmu.PageID, data []byte)
 // CanEvictFunc vetoes eviction of pages that are mid-fault or pinned.
 type CanEvictFunc func(p mmu.PageID) bool
 
-// Pool is one node's frame pool.
+// Pool is one node's frame pool. The LRU list is intrusive — frames
+// link to each other directly — so a replacement-policy touch is a few
+// pointer stores with no container indirection, and the most-recent
+// case (touching the frame already at the front, the common pattern of
+// consecutive accesses to one page) is a single compare.
 type Pool struct {
-	capacity int // 0 = unconstrained
-	frames   map[mmu.PageID]*frame
-	lru      *list.List // front = most recently used
-	evict    EvictFunc
-	canEvict CanEvictFunc
+	capacity   int // 0 = unconstrained
+	frames     map[mmu.PageID]*Frame
+	head, tail *Frame // head = most recently used, tail = LRU victim end
+	evict      EvictFunc
+	canEvict   CanEvictFunc
 
 	evictions uint64
 }
 
-type frame struct {
-	page mmu.PageID
-	data []byte
-	elem *list.Element
+// Frame is one resident page frame. The TLB layer in internal/core
+// caches Frame pointers: a frame handle stays valid exactly as long as
+// the page stays resident (Put on a resident page replaces the data
+// slice inside the same Frame; Drop and eviction retire the Frame).
+type Frame struct {
+	page       mmu.PageID
+	data       []byte
+	prev, next *Frame // intrusive LRU links; prev is toward the front
 }
+
+// Page returns the page this frame holds.
+func (fr *Frame) Page() mmu.PageID { return fr.page }
+
+// Data returns the live frame contents. Callers must re-read it on each
+// use: Put on a resident page swaps the slice.
+func (fr *Frame) Data() []byte { return fr.data }
 
 // NewPool creates a pool holding at most capacity frames (0 for
 // unlimited). evict is called for each reclaimed victim; canEvict may be
 // nil, allowing any resident page to be chosen.
 func NewPool(capacity int, evict EvictFunc, canEvict CanEvictFunc) *Pool {
+	pl := new(Pool)
+	pl.Init(capacity, evict, canEvict)
+	return pl
+}
+
+// Init initialises pl in place, for owners that embed the pool by value
+// (one indirection fewer on the access fast path than a *Pool field).
+func (pl *Pool) Init(capacity int, evict EvictFunc, canEvict CanEvictFunc) {
 	if evict == nil {
 		panic("memfs: eviction callback required")
 	}
-	return &Pool{
+	*pl = Pool{
 		capacity: capacity,
-		frames:   make(map[mmu.PageID]*frame),
-		lru:      list.New(),
+		frames:   make(map[mmu.PageID]*Frame),
 		evict:    evict,
 		canEvict: canEvict,
 	}
+}
+
+// pushFront links fr as the most recently used frame.
+func (pl *Pool) pushFront(fr *Frame) {
+	fr.prev = nil
+	fr.next = pl.head
+	if pl.head != nil {
+		pl.head.prev = fr
+	} else {
+		pl.tail = fr
+	}
+	pl.head = fr
+}
+
+// unlink removes fr from the LRU list.
+func (pl *Pool) unlink(fr *Frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else {
+		pl.head = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else {
+		pl.tail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+}
+
+// moveToFront marks fr most recently used.
+func (pl *Pool) moveToFront(fr *Frame) {
+	if pl.head == fr {
+		return
+	}
+	pl.unlink(fr)
+	pl.pushFront(fr)
 }
 
 // Capacity returns the frame limit (0 = unlimited).
@@ -80,9 +137,33 @@ func (pl *Pool) Get(p mmu.PageID) []byte {
 	if !ok {
 		return nil
 	}
-	pl.lru.MoveToFront(fr.elem)
+	pl.moveToFront(fr)
 	return fr.data
 }
+
+// GetFrame is Get returning the frame handle itself — the form the TLB
+// fill path uses, so later hits can touch the LRU list without the map
+// lookup.
+func (pl *Pool) GetFrame(p mmu.PageID) *Frame {
+	fr, ok := pl.frames[p]
+	if !ok {
+		return nil
+	}
+	pl.moveToFront(fr)
+	return fr
+}
+
+// TouchFrame marks a cached frame handle most recently used — the TLB
+// hit path's replacement-policy update, identical in effect to the map
+// lookup Get performs on a miss.
+func (pl *Pool) TouchFrame(fr *Frame) {
+	pl.moveToFront(fr)
+}
+
+// Front returns the most recently used frame (nil when empty) — the
+// TLB hit path compares against it to skip the touch for consecutive
+// accesses to one page.
+func (pl *Pool) Front() *Frame { return pl.head }
 
 // Peek returns the frame data without touching LRU order (used when
 // serving remote requests, which should not make a page look hot to the
@@ -98,7 +179,7 @@ func (pl *Pool) Peek(p mmu.PageID) []byte {
 // Touch marks page p most recently used if resident.
 func (pl *Pool) Touch(p mmu.PageID) {
 	if fr, ok := pl.frames[p]; ok {
-		pl.lru.MoveToFront(fr.elem)
+		pl.moveToFront(fr)
 	}
 }
 
@@ -109,12 +190,12 @@ func (pl *Pool) Touch(p mmu.PageID) {
 func (pl *Pool) Put(f *sim.Fiber, p mmu.PageID, data []byte) {
 	if fr, ok := pl.frames[p]; ok {
 		fr.data = data
-		pl.lru.MoveToFront(fr.elem)
+		pl.moveToFront(fr)
 		return
 	}
 	pl.reserve(f)
-	fr := &frame{page: p, data: data}
-	fr.elem = pl.lru.PushFront(fr)
+	fr := &Frame{page: p, data: data}
+	pl.pushFront(fr)
 	pl.frames[p] = fr
 }
 
@@ -130,7 +211,7 @@ func (pl *Pool) reserve(f *sim.Fiber) {
 		if victim == nil {
 			panic(fmt.Sprintf("memfs: all %d frames pinned, cannot evict", len(pl.frames)))
 		}
-		pl.lru.Remove(victim.elem)
+		pl.unlink(victim)
 		delete(pl.frames, victim.page)
 		pl.evictions++
 		pl.evict(f, victim.page, victim.data)
@@ -139,9 +220,8 @@ func (pl *Pool) reserve(f *sim.Fiber) {
 
 // pickVictim walks from least to most recently used, returning the first
 // evictable frame.
-func (pl *Pool) pickVictim() *frame {
-	for e := pl.lru.Back(); e != nil; e = e.Prev() {
-		fr := e.Value.(*frame)
+func (pl *Pool) pickVictim() *Frame {
+	for fr := pl.tail; fr != nil; fr = fr.prev {
 		if pl.canEvict == nil || pl.canEvict(fr.page) {
 			return fr
 		}
@@ -154,7 +234,7 @@ func (pl *Pool) pickVictim() *frame {
 // data is dead.
 func (pl *Pool) Drop(p mmu.PageID) {
 	if fr, ok := pl.frames[p]; ok {
-		pl.lru.Remove(fr.elem)
+		pl.unlink(fr)
 		delete(pl.frames, p)
 	}
 }

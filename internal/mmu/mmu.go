@@ -13,10 +13,10 @@ package mmu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/ring"
 	"repro/internal/sim"
-	"repro/internal/wire"
 )
 
 // Access is a page's protection state on one node.
@@ -73,15 +73,21 @@ func (c Copyset) Count() int {
 	return n
 }
 
-// Members returns the node IDs in ascending order.
+// Members returns the node IDs in ascending order. It allocates; hot
+// paths should use AppendTo with a reusable buffer instead.
 func (c Copyset) Members() []ring.NodeID {
-	var out []ring.NodeID
-	for id := 0; id < wire.MaxNodes; id++ {
-		if c.Has(ring.NodeID(id)) {
-			out = append(out, ring.NodeID(id))
-		}
+	return c.AppendTo(nil)
+}
+
+// AppendTo appends the member node IDs to dst in ascending order and
+// returns the extended slice. Passing a scratch buffer sliced to zero
+// length makes copyset iteration allocation-free on the invalidation
+// path.
+func (c Copyset) AppendTo(dst []ring.NodeID) []ring.NodeID {
+	for v := uint64(c); v != 0; v &= v - 1 {
+		dst = append(dst, ring.NodeID(bits.TrailingZeros64(v)))
 	}
-	return out
+	return dst
 }
 
 // Entry is one node's page-table entry for one shared page.

@@ -242,6 +242,10 @@ func (n *Node) handleMigrate(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 	}
 	old.counted--
 	p.node = n
+	p.quantum = n.costs.ComputeQuantum
+	if p.tlb != nil {
+		p.tlb.SetQuantum(p.quantum)
+	}
 	n.pcbs[p.handle] = &slot{proc: p, state: Ready}
 	n.counted++
 	n.st.Proc.MigrationsIn++

@@ -150,12 +150,19 @@ type Cluster struct {
 	procs map[uint64]*Process
 
 	trc *trace.Collector
+
+	// disableTLB makes Create hand out nil TLBs, forcing every access
+	// through the checked path (the property test's control arm).
+	disableTLB bool
 }
 
 // SetTraceCollector installs the span collector (nil = off): process
 // lifetimes become spans on their home node's track, migrations split
 // the span and mark the arrival.
 func (c *Cluster) SetTraceCollector(t *trace.Collector) { c.trc = t }
+
+// SetDisableTLB turns process software TLBs off (before any Create).
+func (c *Cluster) SetDisableTLB(v bool) { c.disableTLB = v }
 
 // NewCluster creates the process-management layer over the given SVMs.
 // Entry i of svms/eps/cpus/sts belongs to node i.

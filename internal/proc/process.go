@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -44,6 +45,15 @@ type Process struct {
 	stackPages int
 
 	debt time.Duration
+	// quantum caches node.costs.ComputeQuantum so the per-access charge
+	// compares against a local field instead of chasing through the node;
+	// it is refreshed when the process changes nodes (migration arrival).
+	quantum time.Duration
+
+	// tlb is the process's software translation cache (nil when the
+	// cluster disables TLBs). It travels with the process across
+	// migrations; the SVM-binding check inside flushes it on arrival.
+	tlb *core.TLB
 
 	// pendingWake absorbs a resume that raced ahead of the Suspend it was
 	// meant for (e.g. an eventcount Advance running between a waiter's
@@ -73,6 +83,12 @@ func (n *Node) Create(body Body, opts CreateOpts) *Process {
 		migratable: opts.Migratable,
 		stackBase:  opts.StackBase,
 		stackPages: opts.StackPages,
+		quantum:    n.costs.ComputeQuantum,
+	}
+	if !n.cluster.disableTLB {
+		// The TLB charges accesses straight into this process's debt
+		// accumulator (see core.NewTLB); the quantum mirrors Charge's.
+		p.tlb = core.NewTLB(&p.debt, p.quantum)
 	}
 	if p.name == "" {
 		p.name = fmt.Sprintf("proc%d", p.handle)
@@ -121,11 +137,14 @@ func (p *Process) StackPages() int { return p.stackPages }
 // Fiber returns the fiber executing the process.
 func (p *Process) Fiber() *sim.Fiber { return p.fiber }
 
+// TLB returns the process's translation cache (nil = disabled).
+func (p *Process) TLB() *core.TLB { return p.tlb }
+
 // Charge accumulates compute time against the current node's CPU,
 // settling in quanta.
 func (p *Process) Charge(d time.Duration) {
 	p.debt += d
-	if p.debt >= p.node.costs.ComputeQuantum {
+	if p.debt >= p.quantum {
 		p.Flush()
 	}
 }

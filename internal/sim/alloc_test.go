@@ -1,0 +1,28 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSleepDoesNotAllocate pins the fiber sleep round trip — schedule,
+// yield to the engine, dispatch, resume — at zero allocations once the
+// event free list is warm. Sleep is the inner loop of every simulated
+// workload; a per-sleep allocation (a closure, a fresh event) would
+// dominate hot-path profiles.
+func TestSleepDoesNotAllocate(t *testing.T) {
+	e := New(1)
+	got := -1.0
+	e.Go("sleeper", func(f *Fiber) {
+		f.Sleep(time.Microsecond) // warm the event free list
+		got = testing.AllocsPerRun(200, func() {
+			f.Sleep(time.Microsecond)
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("fiber sleep allocates %v objects/op", got)
+	}
+}

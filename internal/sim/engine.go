@@ -40,11 +40,16 @@ func (t Time) String() string { return time.Duration(t).String() }
 func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
 
 // event is a scheduled callback. Events with equal time fire in schedule
-// order (seq breaks ties), which keeps runs deterministic.
+// order (seq breaks ties), which keeps runs deterministic. The common
+// case — resuming a fiber at a time — is represented by the fiber field
+// instead of a closure, so the simulation's hottest path (Sleep, Unpark,
+// message delivery wakeups) allocates nothing: event structs themselves
+// recycle through the engine's free list.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	fn    func()
+	fiber *Fiber
 }
 
 // Engine is a discrete-event simulator. Create one with New, add initial
@@ -77,6 +82,12 @@ type Engine struct {
 	// panicMsg carries a fiber panic back to the dispatch loop, which
 	// re-raises it on the engine goroutine.
 	panicMsg string
+
+	// free recycles event structs. A deterministic LIFO free list (not a
+	// sync.Pool, whose reuse order depends on the runtime) keeps event
+	// scheduling allocation-free in steady state without perturbing
+	// reproducibility — recycled structs are fully overwritten on reuse.
+	free []*event
 }
 
 // New returns an engine whose random source is seeded with seed.
@@ -111,11 +122,41 @@ func (e *Engine) Schedule(d time.Duration, fn func()) {
 // ScheduleAt runs fn at absolute virtual time at. Times in the past are
 // clamped to now.
 func (e *Engine) ScheduleAt(at Time, fn func()) {
+	ev := e.getEvent(at)
+	ev.fn = fn
+	e.heap.push(ev)
+}
+
+// scheduleFiberAt schedules fiber f to be resumed at time at — the
+// closure-free fast path behind Sleep, Unpark, and Go.
+func (e *Engine) scheduleFiberAt(at Time, f *Fiber) {
+	ev := e.getEvent(at)
+	ev.fiber = f
+	e.heap.push(ev)
+}
+
+// getEvent takes an event struct off the free list (or allocates one),
+// stamped with the clamped time and the next sequence number.
+func (e *Engine) getEvent(at Time) *event {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	e.heap.push(&event{at: at, seq: e.seq, fn: fn})
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		ev.at, ev.seq = at, e.seq
+		return ev
+	}
+	return &event{at: at, seq: e.seq}
+}
+
+// putEvent recycles a dispatched event. Reference fields are cleared so
+// the free list never retains closures or fibers.
+func (e *Engine) putEvent(ev *event) {
+	ev.fn = nil
+	ev.fiber = nil
+	e.free = append(e.free, ev)
 }
 
 // Stop makes Run return after the current event or fiber step completes.
@@ -166,7 +207,15 @@ func (e *Engine) RunUntil(limit Time) error {
 		}
 		e.now = ev.at
 		e.eventCount++
-		ev.fn()
+		// Copy the work out and recycle the struct before dispatching:
+		// the callback may schedule (and thus reuse) events itself.
+		fn, fb := ev.fn, ev.fiber
+		e.putEvent(ev)
+		if fb != nil {
+			e.resumeFiber(fb)
+		} else {
+			fn()
+		}
 		if e.panicMsg != "" {
 			panic(e.panicMsg)
 		}

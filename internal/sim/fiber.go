@@ -57,7 +57,7 @@ func (e *Engine) Go(name string, body func(f *Fiber)) *Fiber {
 		}()
 		body(f)
 	}()
-	e.Schedule(0, func() { e.resumeFiber(f) })
+	e.scheduleFiberAt(e.now, f)
 	return f
 }
 
@@ -108,8 +108,11 @@ func (f *Fiber) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	f.eng.ScheduleAt(f.eng.now.Add(d), func() { f.eng.resumeFiber(f) })
-	f.yield(fmt.Sprintf("sleeping %v", d))
+	f.eng.scheduleFiberAt(f.eng.now.Add(d), f)
+	// A static reason keeps the hot path free of fmt formatting; the
+	// wakeup is already scheduled, so the park can never be permanent
+	// and the precise duration never reaches a deadlock report.
+	f.yield("sleeping")
 }
 
 // Park blocks the fiber until some other simulation code calls Unpark.
@@ -123,10 +126,10 @@ func (f *Fiber) Park(why string) {
 // never from the parked fiber itself. Unparking a fiber that is not
 // parked is a bug in the caller and panics via the engine.
 func (f *Fiber) Unpark() {
-	f.eng.ScheduleAt(f.eng.now, func() { f.eng.resumeFiber(f) })
+	f.eng.scheduleFiberAt(f.eng.now, f)
 }
 
 // UnparkAt schedules f to resume at absolute time at.
 func (f *Fiber) UnparkAt(at Time) {
-	f.eng.ScheduleAt(at, func() { f.eng.resumeFiber(f) })
+	f.eng.scheduleFiberAt(at, f)
 }

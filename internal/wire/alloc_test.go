@@ -1,0 +1,37 @@
+package wire
+
+import "testing"
+
+// TestPooledRoundTripDoesNotAllocate pins the pooled wire path at zero
+// allocations: once the scratch buffer is checked out and the decode
+// envelope holds a body of the right kind, a full
+// MarshalInto/UnmarshalInto cycle must reuse everything — buffer, pooled
+// reader, and decoded body. This is the contract the simulator's
+// message-per-fault traffic depends on.
+func TestPooledRoundTripDoesNotAllocate(t *testing.T) {
+	env := &Envelope{ReqID: 7, Origin: 1, Sender: 2, Body: &InvalidateReq{Page: 42, NewOwner: 3}}
+	var dec Envelope
+	b := GetBuffer()
+	defer b.Release()
+
+	// Warm-up: the first decode allocates dec's body.
+	env.MarshalInto(b)
+	if err := UnmarshalInto(&dec, b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	got := testing.AllocsPerRun(1000, func() {
+		b.Reset()
+		env.MarshalInto(b)
+		if err := UnmarshalInto(&dec, b.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Fatalf("pooled round trip allocates %v objects/op", got)
+	}
+	body, ok := dec.Body.(*InvalidateReq)
+	if !ok || body.Page != 42 || body.NewOwner != 3 || dec.ReqID != 7 {
+		t.Fatalf("round trip corrupted the envelope: %+v", dec)
+	}
+}

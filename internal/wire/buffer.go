@@ -15,6 +15,36 @@ type Buffer struct {
 // NewBuffer returns an empty buffer.
 func NewBuffer() *Buffer { return &Buffer{b: make([]byte, 0, 64)} }
 
+// bufFree recycles encode buffers, and readerFree decode readers. Plain
+// LIFO free lists — not sync.Pools — because the simulation is single-
+// threaded by construction (the engine runs one unit of work at a time)
+// and deterministic reuse order is part of the reproducibility story.
+var (
+	bufFree    []*Buffer
+	readerFree []*Reader
+)
+
+// GetBuffer returns an empty encode buffer from the free list (or a new
+// one). Pair with Release when the encoded bytes have been copied out.
+func GetBuffer() *Buffer {
+	if n := len(bufFree); n > 0 {
+		b := bufFree[n-1]
+		bufFree = bufFree[:n-1]
+		b.b = b.b[:0]
+		return b
+	}
+	return NewBuffer()
+}
+
+// Release returns the buffer to the free list. The caller must not hold
+// slices into its storage (Bytes aliases it; copy first).
+func (b *Buffer) Release() {
+	bufFree = append(bufFree, b)
+}
+
+// Reset empties the buffer for reuse, keeping its storage.
+func (b *Buffer) Reset() { b.b = b.b[:0] }
+
 // Bytes returns the encoded contents. The slice aliases the buffer's
 // storage and must not be modified after further Puts.
 func (b *Buffer) Bytes() []byte { return b.b }
@@ -22,8 +52,14 @@ func (b *Buffer) Bytes() []byte { return b.b }
 // Len returns the number of encoded bytes.
 func (b *Buffer) Len() int { return len(b.b) }
 
-func (b *Buffer) PutU8(v uint8)   { b.b = append(b.b, v) }
-func (b *Buffer) PutBool(v bool)  { b.PutU8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (b *Buffer) PutU8(v uint8) { b.b = append(b.b, v) }
+func (b *Buffer) PutBool(v bool) {
+	if v {
+		b.PutU8(1)
+	} else {
+		b.PutU8(0)
+	}
+}
 func (b *Buffer) PutU16(v uint16) { b.b = binary.LittleEndian.AppendUint16(b.b, v) }
 func (b *Buffer) PutU32(v uint32) { b.b = binary.LittleEndian.AppendUint32(b.b, v) }
 func (b *Buffer) PutU64(v uint64) { b.b = binary.LittleEndian.AppendUint64(b.b, v) }
@@ -58,6 +94,23 @@ type Reader struct {
 
 // NewReader returns a reader over data.
 func NewReader(data []byte) *Reader { return &Reader{b: data} }
+
+// getReader returns a reader over data from the free list (or new).
+func getReader(data []byte) *Reader {
+	if n := len(readerFree); n > 0 {
+		r := readerFree[n-1]
+		readerFree = readerFree[:n-1]
+		r.b, r.off, r.err = data, 0, nil
+		return r
+	}
+	return NewReader(data)
+}
+
+// putReader recycles a reader, dropping its reference to the data.
+func putReader(r *Reader) {
+	r.b = nil
+	readerFree = append(readerFree, r)
+}
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }

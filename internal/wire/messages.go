@@ -111,11 +111,16 @@ func (m *InvalidateAck) Decode(r *Reader) error {
 // unlocking the page entry for the next fault (improved centralized and
 // fixed distributed manager algorithms). Migration marks confirmations
 // sent by process migration's bulk stack-page ownership transfer, which
-// updates the directory without an in-flight fault to unlock.
+// updates the directory without an in-flight fault to unlock. ReadOnly
+// marks a read-fault confirmation: reads never move ownership, so the
+// manager must only unlock — NewOwner is meaningless and must not be
+// recorded (the requester has no authoritative owner to report, only its
+// probOwner hint, which an invalidation hint may have staled mid-fault).
 type MgrConfirm struct {
 	Page      uint32
 	NewOwner  uint16
 	Migration bool
+	ReadOnly  bool
 }
 
 func (*MgrConfirm) Kind() Kind { return KindMgrConfirm }
@@ -123,11 +128,13 @@ func (m *MgrConfirm) Encode(b *Buffer) {
 	b.PutU32(m.Page)
 	b.PutU16(m.NewOwner)
 	b.PutBool(m.Migration)
+	b.PutBool(m.ReadOnly)
 }
 func (m *MgrConfirm) Decode(r *Reader) error {
 	m.Page = r.U32()
 	m.NewOwner = r.U16()
 	m.Migration = r.Bool()
+	m.ReadOnly = r.Bool()
 	return nil
 }
 

@@ -140,9 +140,25 @@ type Envelope struct {
 	Body     Msg
 }
 
-// Marshal encodes the envelope to bytes.
+// Marshal encodes the envelope to bytes. The returned slice is freshly
+// allocated at its exact size: encoding happens in a pooled scratch
+// buffer, so a Marshal costs one allocation regardless of body size and
+// never pays append-growth reallocations. (The copy-out is deliberate —
+// marshaled payloads outlive the call arbitrarily: the ring may still be
+// delivering a retransmission while the sender retires the request.)
 func (e *Envelope) Marshal() []byte {
-	b := NewBuffer()
+	b := GetBuffer()
+	e.MarshalInto(b)
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	b.Release()
+	return out
+}
+
+// MarshalInto encodes the envelope into b without allocating. The caller
+// owns b's lifetime (typically GetBuffer/Release around a send whose
+// bytes are consumed synchronously).
+func (e *Envelope) MarshalInto(b *Buffer) {
 	b.PutU8(uint8(e.Body.Kind()))
 	b.PutU32(e.ReqID)
 	b.PutU16(e.Origin)
@@ -150,7 +166,6 @@ func (e *Envelope) Marshal() []byte {
 	b.PutU8(e.Flags)
 	b.PutU8(e.LoadHint)
 	e.Body.Encode(b)
-	return b.Bytes()
 }
 
 // ErrUnknownKind reports an envelope whose kind has no registered decoder.
@@ -158,32 +173,45 @@ var ErrUnknownKind = errors.New("wire: unknown message kind")
 
 // Unmarshal decodes an envelope produced by Marshal.
 func Unmarshal(data []byte) (*Envelope, error) {
-	r := NewReader(data)
-	kind := Kind(r.U8())
-	e := &Envelope{
-		ReqID:    r.U32(),
-		Origin:   r.U16(),
-		Sender:   r.U16(),
-		Flags:    r.U8(),
-		LoadHint: r.U8(),
-	}
-	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("wire: short envelope header: %w", err)
-	}
-	if kind <= KindInvalid || kind >= kindMax || factories[kind] == nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnknownKind, kind)
-	}
-	e.Body = factories[kind]()
-	if err := e.Body.Decode(r); err != nil {
-		return nil, fmt.Errorf("wire: decoding %v body: %w", kind, err)
-	}
-	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("wire: %v body: %w", kind, err)
-	}
-	if r.Remaining() != 0 {
-		return nil, fmt.Errorf("wire: %v: %d trailing bytes", kind, r.Remaining())
+	e := &Envelope{}
+	if err := UnmarshalInto(e, data); err != nil {
+		return nil, err
 	}
 	return e, nil
+}
+
+// UnmarshalInto decodes into an existing envelope, reusing its Body when
+// the incoming kind matches — the allocation-free half of a pooled
+// round trip. On a kind mismatch (or a nil Body) the body comes from the
+// kind's registered factory as usual.
+func UnmarshalInto(e *Envelope, data []byte) error {
+	r := getReader(data)
+	defer putReader(r)
+	kind := Kind(r.U8())
+	e.ReqID = r.U32()
+	e.Origin = r.U16()
+	e.Sender = r.U16()
+	e.Flags = r.U8()
+	e.LoadHint = r.U8()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("wire: short envelope header: %w", err)
+	}
+	if kind <= KindInvalid || kind >= kindMax || factories[kind] == nil {
+		return fmt.Errorf("%w: %v", ErrUnknownKind, kind)
+	}
+	if e.Body == nil || e.Body.Kind() != kind {
+		e.Body = factories[kind]()
+	}
+	if err := e.Body.Decode(r); err != nil {
+		return fmt.Errorf("wire: decoding %v body: %w", kind, err)
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("wire: %v body: %w", kind, err)
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("wire: %v: %d trailing bytes", kind, r.Remaining())
+	}
+	return nil
 }
 
 // IsRequest reports whether the envelope carries a request.

@@ -30,9 +30,12 @@ func measureVirtual(b *testing.B, procs, iters int, body func(p *ivy.Proc, iters
 }
 
 // BenchmarkMicroLocalAccess measures a resident shared-memory reference.
+// The access loop is long enough (200k reads per cluster) that wall-clock
+// ns/op tracks the accessor fast path rather than the per-iteration
+// cluster setup and its GC tail.
 func BenchmarkMicroLocalAccess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		v := measureVirtual(b, 1, 10000, func(p *ivy.Proc, iters int) time.Duration {
+		v := measureVirtual(b, 1, 200000, func(p *ivy.Proc, iters int) time.Duration {
 			addr := p.MustMalloc(1024)
 			p.WriteU64(addr, 1)
 			start := p.Now()

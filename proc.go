@@ -2,6 +2,7 @@ package ivy
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/ec"
@@ -31,12 +32,20 @@ func (p *Proc) Name() string { return p.inner.Name() }
 func (p *Proc) Now() time.Duration { return p.inner.Fiber().Now().Duration() }
 
 // --- Shared memory access ------------------------------------------------
+//
+// The 64-bit accessors go through the core's *T entry points, resolving
+// the process's TLB with a concrete (inlinable) call so the common
+// TLB-hit access involves no interface dispatch at all.
 
 // ReadF64 reads a float64 from shared memory.
-func (p *Proc) ReadF64(addr uint64) float64 { return p.inner.Node().SVM().ReadF64(p.inner, addr) }
+func (p *Proc) ReadF64(addr uint64) float64 {
+	return math.Float64frombits(p.inner.Node().SVM().ReadU64T(p.inner.TLB(), p.inner, addr))
+}
 
 // WriteF64 writes a float64 to shared memory.
-func (p *Proc) WriteF64(addr uint64, v float64) { p.inner.Node().SVM().WriteF64(p.inner, addr, v) }
+func (p *Proc) WriteF64(addr uint64, v float64) {
+	p.inner.Node().SVM().WriteU64T(p.inner.TLB(), p.inner, addr, math.Float64bits(v))
+}
 
 // ReadF32 reads a float32 (the era's 4-byte Pascal "real").
 func (p *Proc) ReadF32(addr uint64) float32 { return p.inner.Node().SVM().ReadF32(p.inner, addr) }
@@ -45,16 +54,24 @@ func (p *Proc) ReadF32(addr uint64) float32 { return p.inner.Node().SVM().ReadF3
 func (p *Proc) WriteF32(addr uint64, v float32) { p.inner.Node().SVM().WriteF32(p.inner, addr, v) }
 
 // ReadU64 reads a uint64 from shared memory.
-func (p *Proc) ReadU64(addr uint64) uint64 { return p.inner.Node().SVM().ReadU64(p.inner, addr) }
+func (p *Proc) ReadU64(addr uint64) uint64 {
+	return p.inner.Node().SVM().ReadU64T(p.inner.TLB(), p.inner, addr)
+}
 
 // WriteU64 writes a uint64 to shared memory.
-func (p *Proc) WriteU64(addr uint64, v uint64) { p.inner.Node().SVM().WriteU64(p.inner, addr, v) }
+func (p *Proc) WriteU64(addr uint64, v uint64) {
+	p.inner.Node().SVM().WriteU64T(p.inner.TLB(), p.inner, addr, v)
+}
 
 // ReadI64 reads an int64 from shared memory.
-func (p *Proc) ReadI64(addr uint64) int64 { return p.inner.Node().SVM().ReadI64(p.inner, addr) }
+func (p *Proc) ReadI64(addr uint64) int64 {
+	return int64(p.inner.Node().SVM().ReadU64T(p.inner.TLB(), p.inner, addr))
+}
 
 // WriteI64 writes an int64 to shared memory.
-func (p *Proc) WriteI64(addr uint64, v int64) { p.inner.Node().SVM().WriteI64(p.inner, addr, v) }
+func (p *Proc) WriteI64(addr uint64, v int64) {
+	p.inner.Node().SVM().WriteU64T(p.inner.TLB(), p.inner, addr, uint64(v))
+}
 
 // ReadU32 reads a uint32 from shared memory.
 func (p *Proc) ReadU32(addr uint64) uint32 { return p.inner.Node().SVM().ReadU32(p.inner, addr) }
@@ -76,6 +93,33 @@ func (p *Proc) ReadBytes(addr uint64, n int) []byte {
 // WriteBytes copies data into shared memory (may span pages).
 func (p *Proc) WriteBytes(addr uint64, data []byte) {
 	p.inner.Node().SVM().WriteBytes(p.inner, addr, data)
+}
+
+// ReadU64s fills dst with consecutive words starting at addr (8-aligned),
+// checking access once per page run instead of once per word.
+func (p *Proc) ReadU64s(addr uint64, dst []uint64) {
+	p.inner.Node().SVM().ReadU64s(p.inner, addr, dst)
+}
+
+// WriteU64s stores src as consecutive words starting at addr (8-aligned).
+func (p *Proc) WriteU64s(addr uint64, src []uint64) {
+	p.inner.Node().SVM().WriteU64s(p.inner, addr, src)
+}
+
+// ReadF64s fills dst with consecutive float64s starting at addr.
+func (p *Proc) ReadF64s(addr uint64, dst []float64) {
+	p.inner.Node().SVM().ReadF64s(p.inner, addr, dst)
+}
+
+// WriteF64s stores src as consecutive float64s starting at addr.
+func (p *Proc) WriteF64s(addr uint64, src []float64) {
+	p.inner.Node().SVM().WriteF64s(p.inner, addr, src)
+}
+
+// CopyWords copies n 8-byte words from src to dst within shared memory,
+// checking each page once per run (overlap-safe, like memmove).
+func (p *Proc) CopyWords(dst, src uint64, n int) {
+	p.inner.Node().SVM().CopyWords(p.inner, dst, src, n)
 }
 
 // TestAndSet atomically sets the byte at addr, reporting whether it was

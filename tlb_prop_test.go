@@ -1,0 +1,140 @@
+package ivy
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// tlbTraceResult is everything a run observes: the simulated outcome
+// must be bit-identical with the software TLB on and off.
+type tlbTraceResult struct {
+	elapsed time.Duration
+	stats   ClusterStats
+}
+
+// runTLBTrace executes a randomized shared-memory trace — scalar and
+// bulk reads/writes, word copies, test-and-set, and a migrating worker —
+// on a memory-constrained cluster (so evictions happen) and returns the
+// simulated outcome.
+func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool) tlbTraceResult {
+	t.Helper()
+	const (
+		workers = 4
+		words   = 512 // trace footprint: 16 pages of 256 B
+		ops     = 300
+	)
+	c := New(Config{
+		Processors:  workers,
+		PageSize:    256,
+		SharedPages: 128,
+		MemoryPages: 48, // tight enough to force evictions
+		Algorithm:   alg,
+		Seed:        seed,
+		DisableTLB:  disableTLB,
+	})
+	err := c.Run(func(p *Proc) {
+		base := p.MustMalloc(8 * words)
+		done := p.NewEventcount(workers + 2)
+		for w := 0; w < workers; w++ {
+			w := w
+			p.CreateOn(w, func(q *Proc) {
+				rng := uint64(seed)*0x9E3779B97F4A7C15 + uint64(w+1)
+				next := func() uint64 {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					return rng
+				}
+				buf := make([]uint64, 24)
+				for op := 0; op < ops; op++ {
+					i := next() % words
+					switch next() % 6 {
+					case 0:
+						q.WriteU64(base+8*i, next())
+					case 1:
+						_ = q.ReadU64(base + 8*i)
+					case 2:
+						n := uint64(len(buf))
+						if i+n > words {
+							n = words - i
+						}
+						q.ReadU64s(base+8*i, buf[:n])
+					case 3:
+						n := uint64(len(buf))
+						if i+n > words {
+							n = words - i
+						}
+						q.WriteU64s(base+8*i, buf[:n])
+					case 4:
+						j := next() % words
+						n := uint64(16)
+						if i+n > words {
+							n = words - i
+						}
+						if j+n > words {
+							n = words - j
+						}
+						q.CopyWords(base+8*j, base+8*i, int(n))
+					case 5:
+						_ = q.TestAndSet(base + 8*i)
+					}
+				}
+				done.Advance(q)
+			}, WithName(fmt.Sprintf("w%d", w)), NotMigratable())
+		}
+		// A migrating worker exercises the TLB's SVM rebinding: its
+		// cached translations must die when it lands on another node.
+		p.Create(func(q *Proc) {
+			for hop := 0; hop < 3; hop++ {
+				q.Migrate((q.NodeID() + 1) % workers)
+				for k := 0; k < 32; k++ {
+					a := base + 8*uint64((hop*37+k*5)%words)
+					q.WriteU64(a, q.ReadU64(a)+1)
+				}
+			}
+			done.Advance(q)
+		}, WithName("hopper"))
+		done.Wait(p, workers+1)
+	})
+	if err != nil {
+		t.Fatalf("%v trace (tlb disabled=%v): %v", alg, disableTLB, err)
+	}
+	if err := c.VerifyCoherence(); err != nil {
+		t.Fatalf("%v trace (tlb disabled=%v): %v", alg, disableTLB, err)
+	}
+	return tlbTraceResult{elapsed: c.Elapsed(), stats: c.Snapshot()}
+}
+
+// TestTLBDeterminism is the shootdown property test: the same randomized
+// trace must produce bit-identical virtual time, fault counts, message
+// counts, and every other simulated statistic with the software TLB on
+// and off, across every manager algorithm. A stale TLB entry surviving
+// any coherence transition would skip a fault and diverge here.
+func TestTLBDeterminism(t *testing.T) {
+	algs := map[string]Algorithm{
+		"DynamicDistributed":  DynamicDistributed,
+		"ImprovedCentralized": ImprovedCentralized,
+		"FixedDistributed":    FixedDistributed,
+		"BroadcastManager":    BroadcastManager,
+		"BasicCentralized":    BasicCentralized,
+	}
+	for name, alg := range algs {
+		alg := alg
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				on := runTLBTrace(t, alg, seed, false)
+				off := runTLBTrace(t, alg, seed, true)
+				if on.elapsed != off.elapsed {
+					t.Errorf("seed %d: virtual time diverges: TLB on %v, off %v",
+						seed, on.elapsed, off.elapsed)
+				}
+				if !reflect.DeepEqual(on.stats, off.stats) {
+					t.Errorf("seed %d: cluster statistics diverge with TLB on vs off:\non:  %+v\noff: %+v",
+						seed, on.stats.Total().SVM, off.stats.Total().SVM)
+				}
+			}
+		})
+	}
+}
