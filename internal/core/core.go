@@ -368,10 +368,28 @@ func (s *SVM) onEvict(f *sim.Fiber, p mmu.PageID, data []byte) {
 
 // tlbShoot invalidates every translation cached by this node's software
 // TLBs by advancing the shootdown epoch. Called at every transition
-// that lowers a page's protection or removes its frame; raising
-// protection never shoots, because a cached translation can only ever
-// under-promise rights.
+// that lowers a page's protection or removes its frame, and whenever a
+// resident frame's contents are replaced in place (see install);
+// raising protection alone never shoots, because a cached translation
+// can only ever under-promise rights.
 func (s *SVM) tlbShoot() { s.shootGen++ }
+
+// install puts data into the frame pool as page p's contents. Every
+// core-layer installation must go through here rather than calling
+// pool.Put directly: when the page is already resident, Put swaps the
+// data slice inside the existing Frame — a transition that raises
+// protection (a write-fault upgrade of a local read copy, the basic
+// manager's lost-ownership refetch) and so fires none of the
+// protection-lowering shoot sites, yet it stales any TLB way caching
+// the old slice. Shooting here keeps the TLB's invariant — a way whose
+// bytes went stale can never pass the epoch compare — airtight; the
+// extra misses after a replacement are behavior-neutral, like every
+// shootdown.
+func (s *SVM) install(f *sim.Fiber, p mmu.PageID, data []byte) {
+	if s.pool.Put(f, p, data) {
+		s.tlbShoot()
+	}
+}
 
 // canEvict pins pages whose fault lock is held: a frame mid-transfer
 // must not be reclaimed under the protocol.

@@ -159,10 +159,18 @@ func (s *SVM) WriteF64s(ctx Ctx, addr uint64, src []float64) {
 
 // CopyWords copies n 8-byte words from src to dst inside shared memory,
 // checking both pages once per run. Overlapping ranges copy as memmove
-// would. The write fault for the destination can steal the source page
-// mid-run (faulting yields the engine), so the source is revalidated
-// after the destination is secured and the run retried if it was lost.
+// would: when the destination starts above an overlapping source the
+// chunks are walked back-to-front, so no chunk's writes clobber source
+// words a later chunk still needs (within a chunk, Go's copy is already
+// memmove-safe). The write fault for the destination can steal the
+// source page mid-run (faulting yields the engine), so the source is
+// revalidated after the destination is secured and the run retried if
+// it was lost.
 func (s *SVM) CopyWords(ctx Ctx, dst, src uint64, n int) {
+	if dst > src && dst < src+8*uint64(n) {
+		s.copyWordsBackward(ctx, dst, src, n)
+		return
+	}
 	off := 0
 	for off < n {
 		sp, spo, words := s.alignedWords(src+uint64(off)*8, n-off)
@@ -188,6 +196,51 @@ func (s *SVM) CopyWords(ctx Ctx, dst, src uint64, n int) {
 			ctx.Charge(time.Duration(2*(words-1)) * s.costs.MemRef)
 		}
 		off += words
+	}
+}
+
+// copyWordsBackward is CopyWords' chunk loop run from the last word to
+// the first, used when the destination overlaps the source from above:
+// forward chunk order would overwrite source words that a later chunk
+// still has to read. Fault behavior, revalidation, and charges per
+// chunk are identical to the forward loop; only the order in which the
+// page runs are visited differs (as it would for a real memmove).
+func (s *SVM) copyWordsBackward(ctx Ctx, dst, src uint64, n int) {
+	end := n
+	for end > 0 {
+		// Word end-1 closes this chunk; the chunk reaches back to the
+		// start of whichever page run (source or destination) begins
+		// later, and no further than word 0.
+		sp, spoLast, _ := s.alignedWords(src+8*uint64(end-1), 1)
+		dp, dpoLast, _ := s.alignedWords(dst+8*uint64(end-1), 1)
+		words := spoLast/8 + 1
+		if w := dpoLast/8 + 1; w < words {
+			words = w
+		}
+		if words > end {
+			words = end
+		}
+		spo := spoLast - 8*(words-1)
+		dpo := dpoLast - 8*(words-1)
+		srcFrame := s.frameForRead(ctx, sp)
+		dstFrame := s.frameForWrite(ctx, dp)
+		if dp != sp {
+			// Revalidate the source, as in the forward loop.
+			if s.table.Entry(sp).Access == mmu.AccessNil {
+				continue
+			}
+			srcFrame = s.pool.Peek(sp)
+			if srcFrame == nil {
+				continue
+			}
+		} else {
+			srcFrame = dstFrame
+		}
+		copy(dstFrame[dpo:dpo+8*words], srcFrame[spo:spo+8*words])
+		if words > 1 {
+			ctx.Charge(time.Duration(2*(words-1)) * s.costs.MemRef)
+		}
+		end -= words
 	}
 }
 
@@ -599,7 +652,7 @@ func (s *SVM) diskFault(ctx Ctx, p mmu.PageID) {
 	} else {
 		data = make([]byte, s.pageSize)
 	}
-	s.pool.Put(f, p, data)
+	s.install(f, p, data)
 	if e.Copyset.Empty() {
 		e.Access = mmu.AccessWrite
 	} else {
@@ -657,7 +710,7 @@ func (s *SVM) readFault(ctx Ctx, p mmu.PageID) {
 		if ring.NodeID(reply.Owner) == s.node {
 			panic(fmt.Sprintf("core: node %d served its own read fault for page %d", s.node, p))
 		}
-		s.pool.Put(f, p, reply.Data)
+		s.install(f, p, reply.Data)
 		e.Access = mmu.AccessRead
 		e.Dirty = false
 		e.ProbOwner = ring.NodeID(reply.Owner)
@@ -699,7 +752,7 @@ func (s *SVM) writeFault(ctx Ctx, p mmu.PageID) {
 		// behind this (finite) operation instead of being bounced around
 		// as ownerless. Write access is granted only after every
 		// acknowledgement.
-		s.pool.Put(f, p, reply.Data)
+		s.install(f, p, reply.Data)
 		e.IsOwner = true
 		e.Copyset = 0
 		e.Dirty = true
@@ -764,7 +817,7 @@ func (s *SVM) residentFrame(f *sim.Fiber, p mmu.PageID) []byte {
 	} else {
 		data = make([]byte, s.pageSize)
 	}
-	s.pool.Put(f, p, data)
+	s.install(f, p, data)
 	return data
 }
 

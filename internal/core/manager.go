@@ -676,7 +676,7 @@ func (m *basicMgr) upgrade(ctx Ctx, p mmu.PageID) {
 			}
 			reply := r.(*wire.PageWriteReply)
 			chargeCPU(f, s.cpu, s.costs.PageCopy)
-			s.pool.Put(f, p, reply.Data)
+			s.install(f, p, reply.Data)
 			break
 		}
 		e.IsOwner = true
@@ -709,7 +709,7 @@ func (m *basicMgr) upgrade(ctx Ctx, p mmu.PageID) {
 	} else {
 		// We lost ownership in the window; this is a full transfer.
 		chargeCPU(f, s.cpu, s.costs.PageCopy)
-		s.pool.Put(f, p, reply.Data)
+		s.install(f, p, reply.Data)
 		e.IsOwner = true
 		e.Copyset = 0
 		e.ProbOwner = s.node

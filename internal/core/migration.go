@@ -41,7 +41,7 @@ func (s *SVM) ReleasePageForMigration(f *sim.Fiber, pg mmu.PageID, dst ring.Node
 	if !e.Copyset.Empty() {
 		// Roll back: restore the frame if we took it.
 		if withData && data != nil {
-			s.pool.Put(f, pg, data)
+			s.install(f, pg, data)
 		}
 		return nil, false
 	}
@@ -67,7 +67,7 @@ func (s *SVM) AdoptPage(f *sim.Fiber, pg mmu.PageID, data []byte) {
 	e.ProbOwner = s.node
 	s.dsk.Drop(pg)
 	if data != nil {
-		s.pool.Put(f, pg, data)
+		s.install(f, pg, data)
 		e.Access = mmu.AccessWrite
 		e.Dirty = true
 		return

@@ -191,6 +191,52 @@ func TestRemoteReadSeesWrites(t *testing.T) {
 	})
 }
 
+// TestTLBSeesInPlaceFrameReplacement pins the shootdown in SVM.install:
+// when a node holding a resident read copy write-faults, the arriving
+// authoritative page replaces the frame's data slice IN PLACE (same
+// Frame, new slice) — a protection-raising transition that fires none
+// of the protection-lowering shoot sites. A second context on the same
+// node whose TLB cached the old slice must not keep serving it: without
+// the install shoot, reader A below would return the pre-transfer value
+// from its stale way (the randomized determinism trace rarely lands in
+// this window, hence the targeted test).
+func TestTLBSeesInPlaceFrameReplacement(t *testing.T) {
+	forEachAlgorithm(t, func(t *testing.T, alg Algorithm) {
+		r := newRig(t, 2, 1, testConfig(alg))
+		addr := r.svms[0].Base() + 512
+		var first, second uint64
+		r.proc(1, "writer1", func(ctx Ctx) {
+			r.svms[1].WriteU64(ctx, addr, 1) // node 1 takes ownership
+		})
+		r.proc(0, "readerA", func(ctx Ctx) {
+			ctx.Fiber().Sleep(time.Second)
+			first = r.svms[0].ReadU64(ctx, addr)
+			// The faulting read resolves through slowPath, which does not
+			// fill the TLB; this second, checked-path read caches the read
+			// copy's data slice in A's way.
+			first = r.svms[0].ReadU64(ctx, addr)
+			ctx.Fiber().Sleep(2 * time.Second) // past writerB's fault
+			second = r.svms[0].ReadU64(ctx, addr)
+		})
+		r.proc(0, "writerB", func(ctx Ctx) {
+			ctx.Fiber().Sleep(2 * time.Second)
+			// Write fault with the read copy resident: ownership and data
+			// arrive and replace the resident frame's slice in place. No
+			// invalidation is sent to this node (it is the new owner), so
+			// only install's shoot can invalidate A's cached way.
+			r.svms[0].WriteU64(ctx, addr, 2)
+		})
+		r.run(t, time.Minute)
+		if first != 1 {
+			t.Fatalf("reader A first read = %d, want 1", first)
+		}
+		if second != 2 {
+			t.Fatalf("reader A read %d after the same node's write fault, want 2 (stale TLB way served a replaced frame)", second)
+		}
+		r.checkInvariants(t)
+	})
+}
+
 func TestWriteInvalidatesReaders(t *testing.T) {
 	forEachAlgorithm(t, func(t *testing.T, alg Algorithm) {
 		r := newRig(t, 3, 1, testConfig(alg))

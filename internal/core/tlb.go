@@ -26,8 +26,11 @@ import (
 //   - takeData (the frame leaves the pool on a transfer),
 //   - onEvict (the replacement policy reclaims the frame),
 //   - ReleasePageForMigration / AdoptPage's ownership-only branch
-//     (migration's stack-page handoff), and
-//   - the basic centralized manager's local copy drop.
+//     (migration's stack-page handoff),
+//   - the basic centralized manager's local copy drop, and
+//   - SVM.install, when an arriving page copy replaces a resident
+//     frame's data slice in place (the one staleness source that raises
+//     rather than lowers protection — see install and tlbEntry).
 //
 // A TLB way records the epoch it was filled at and compares it on every
 // hit; any shootdown event anywhere on the node makes the comparison
@@ -38,9 +41,10 @@ import (
 // the node costs a few extra (behavior-neutral) misses while keeping
 // the hit path's validity test a compare against a field of the SVM the
 // accessor already holds — no chase through the page-table entry.
-// Raising protection never advances the epoch, so a cached translation
-// can only ever under-promise rights — it is never stale in the unsafe
-// direction.
+// Raising protection alone never advances the epoch, so a cached
+// translation can only ever under-promise rights — it is never stale in
+// the unsafe direction. The one raising transition that also replaces
+// bytes (install's Put-replace, above) does shoot.
 //
 // Determinism: a hit performs the same statistics increment, the same
 // MemRef charge (before the lookup, as on the checked path, so a charge
@@ -67,11 +71,16 @@ const tlbMask = tlbWays - 1
 // valid at, the granted access mode, and direct pointers to the page-
 // table entry, frame, and frame bytes so a hit touches no maps.
 //
-// Caching data (and not just fr) is safe for the same reason caching fr
-// is: every event that drops, replaces, or hands off a page's frame —
-// eviction, invalidation, write transfer, migration handoff — advances
-// the shootdown epoch, so a way whose bytes went stale can never pass
-// the epoch compare.
+// Caching data (and not just fr) is safe because every event that makes
+// the cached slice stale advances the shootdown epoch. Eviction,
+// invalidation, write transfer, and migration handoff all retire or
+// hand off the frame and shoot at their protection-lowering sites; the
+// one staleness source that RAISES protection — memfs.Pool.Put on a
+// resident page, which swaps the data slice inside the same Frame (a
+// write fault upgrading a local read copy, the basic manager's
+// lost-ownership refetch) — shoots through SVM.install, the mandatory
+// wrapper around Put. A way whose bytes went stale can therefore never
+// pass the epoch compare.
 type tlbEntry struct {
 	page mmu.PageID
 	mode mmu.Access

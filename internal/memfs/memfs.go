@@ -186,17 +186,20 @@ func (pl *Pool) Touch(p mmu.PageID) {
 // Put installs data as page p's frame, evicting LRU victims as needed.
 // The pool takes ownership of data. The fiber may stall while victims are
 // written out. Installing a page that is already resident replaces its
-// contents.
-func (pl *Pool) Put(f *sim.Fiber, p mmu.PageID, data []byte) {
+// contents; Put reports that case so callers holding caches keyed on the
+// frame's data slice (the software TLB) know the old slice just went
+// stale without the frame itself being retired.
+func (pl *Pool) Put(f *sim.Fiber, p mmu.PageID, data []byte) (replaced bool) {
 	if fr, ok := pl.frames[p]; ok {
 		fr.data = data
 		pl.moveToFront(fr)
-		return
+		return true
 	}
 	pl.reserve(f)
 	fr := &Frame{page: p, data: data}
 	pl.pushFront(fr)
 	pl.frames[p] = fr
+	return false
 }
 
 // reserve frees one slot if the pool is full. Bookkeeping is completed

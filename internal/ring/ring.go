@@ -30,7 +30,7 @@ const Broadcast NodeID = -1
 // internal/wire; the network only looks at its length.
 type Packet struct {
 	Src     NodeID
-	Dst     NodeID // Broadcast for all stations except Src
+	Dst     NodeID // Broadcast for all stations except Src; Dst == Src rings back to the sender
 	Payload []byte
 
 	// Trace is the span ID of the fault this packet serves (0 =
@@ -118,9 +118,11 @@ func (nw *Network) Send(pkt *Packet) {
 	if pkt.Dst != Broadcast && (pkt.Dst < 0 || int(pkt.Dst) >= len(nw.handlers)) {
 		panic(fmt.Sprintf("ring: bad destination %d", pkt.Dst))
 	}
-	if pkt.Dst == pkt.Src {
-		panic("ring: packet addressed to its own source")
-	}
+	// Dst == Src is legal: on a token ring a self-addressed frame simply
+	// circulates the ring back to its sender, paying full wire time. The
+	// remote-operation layer produces such frames when a forwarding chain
+	// chases a migrated process back to the node that originated the
+	// request — the final hop then replies to itself over the wire.
 
 	wire := nw.costs.PacketTime(len(pkt.Payload))
 	start := nw.eng.Now()

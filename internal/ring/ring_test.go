@@ -113,11 +113,34 @@ func TestLossInjectionDropsDeterministically(t *testing.T) {
 	}
 }
 
+func TestSelfAddressedRingsBack(t *testing.T) {
+	// A frame addressed to its own sender circulates the ring and comes
+	// back, paying full wire time — the remote-operation layer relies on
+	// this when a forwarding chain chases a migrated process back to the
+	// request's originator.
+	eng := sim.New(1)
+	nw := New(eng, testCosts(), 2)
+	var at sim.Time
+	delivered := 0
+	nw.Attach(0, func(p *Packet) { delivered++; at = eng.Now() })
+	nw.Attach(1, func(p *Packet) { t.Error("misdelivered to 1") })
+
+	nw.Send(&Packet{Src: 0, Dst: 0, Payload: make([]byte, 100)})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d times, want 1", delivered)
+	}
+	if want := sim.Time(time.Millisecond + 100*time.Microsecond); at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
 func TestSendValidation(t *testing.T) {
 	eng := sim.New(1)
 	nw := New(eng, testCosts(), 2)
 	cases := []Packet{
-		{Src: 0, Dst: 0},  // self-addressed
 		{Src: -1, Dst: 1}, // bad source
 		{Src: 0, Dst: 5},  // bad destination
 	}

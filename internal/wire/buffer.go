@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"sync"
 )
 
 // Buffer is an append-only encoder for the wire format. All multi-byte
@@ -16,10 +17,16 @@ type Buffer struct {
 func NewBuffer() *Buffer { return &Buffer{b: make([]byte, 0, 64)} }
 
 // bufFree recycles encode buffers, and readerFree decode readers. Plain
-// LIFO free lists — not sync.Pools — because the simulation is single-
-// threaded by construction (the engine runs one unit of work at a time)
-// and deterministic reuse order is part of the reproducibility story.
+// LIFO free lists — not sync.Pools, whose GC-coupled emptying would be
+// a nondeterministic cost source. One engine is single-threaded by
+// construction (it runs one unit of work at a time), but the lists are
+// package-level and a process may run independent clusters on separate
+// goroutines (parallel tests, library users), so access is serialized
+// by a mutex. Reuse order stays deterministic for any one engine; a
+// buffer's identity never influences simulation results (contents are
+// reset on Get), so cross-cluster interleaving is harmless.
 var (
+	freeMu     sync.Mutex
 	bufFree    []*Buffer
 	readerFree []*Reader
 )
@@ -27,19 +34,24 @@ var (
 // GetBuffer returns an empty encode buffer from the free list (or a new
 // one). Pair with Release when the encoded bytes have been copied out.
 func GetBuffer() *Buffer {
+	freeMu.Lock()
 	if n := len(bufFree); n > 0 {
 		b := bufFree[n-1]
 		bufFree = bufFree[:n-1]
+		freeMu.Unlock()
 		b.b = b.b[:0]
 		return b
 	}
+	freeMu.Unlock()
 	return NewBuffer()
 }
 
 // Release returns the buffer to the free list. The caller must not hold
 // slices into its storage (Bytes aliases it; copy first).
 func (b *Buffer) Release() {
+	freeMu.Lock()
 	bufFree = append(bufFree, b)
+	freeMu.Unlock()
 }
 
 // Reset empties the buffer for reuse, keeping its storage.
@@ -97,19 +109,24 @@ func NewReader(data []byte) *Reader { return &Reader{b: data} }
 
 // getReader returns a reader over data from the free list (or new).
 func getReader(data []byte) *Reader {
+	freeMu.Lock()
 	if n := len(readerFree); n > 0 {
 		r := readerFree[n-1]
 		readerFree = readerFree[:n-1]
+		freeMu.Unlock()
 		r.b, r.off, r.err = data, 0, nil
 		return r
 	}
+	freeMu.Unlock()
 	return NewReader(data)
 }
 
 // putReader recycles a reader, dropping its reference to the data.
 func putReader(r *Reader) {
 	r.b = nil
+	freeMu.Lock()
 	readerFree = append(readerFree, r)
+	freeMu.Unlock()
 }
 
 // Err returns the first decoding error, if any.

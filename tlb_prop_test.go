@@ -8,10 +8,15 @@ import (
 )
 
 // tlbTraceResult is everything a run observes: the simulated outcome
-// must be bit-identical with the software TLB on and off.
+// must be bit-identical with the software TLB on and off. sums holds a
+// checksum of every value each worker read plus a final sweep of the
+// shared region — equal timing and fault counts alone would not catch
+// a stale TLB hit that returns wrong bytes, since such a hit performs
+// the same charges and messages as a correct one.
 type tlbTraceResult struct {
 	elapsed time.Duration
 	stats   ClusterStats
+	sums    []uint64
 }
 
 // runTLBTrace executes a randomized shared-memory trace — scalar and
@@ -34,6 +39,16 @@ func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool) tlbTr
 		Seed:        seed,
 		DisableTLB:  disableTLB,
 	})
+	// sums[w] is worker w's running checksum of every value it read;
+	// sums[workers] is the hopper's, sums[workers+1] a final sweep of
+	// the whole region. The mix must depend on order, so a transposed
+	// pair of reads cannot cancel.
+	sums := make([]uint64, workers+2)
+	mix := func(h, v uint64) uint64 {
+		h ^= v
+		h *= 0x100000001B3 // FNV-64 prime
+		return h
+	}
 	err := c.Run(func(p *Proc) {
 		base := p.MustMalloc(8 * words)
 		done := p.NewEventcount(workers + 2)
@@ -47,6 +62,7 @@ func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool) tlbTr
 					rng ^= rng << 17
 					return rng
 				}
+				sum := uint64(14695981039346656037) // FNV-64 offset basis
 				buf := make([]uint64, 24)
 				for op := 0; op < ops; op++ {
 					i := next() % words
@@ -54,13 +70,16 @@ func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool) tlbTr
 					case 0:
 						q.WriteU64(base+8*i, next())
 					case 1:
-						_ = q.ReadU64(base + 8*i)
+						sum = mix(sum, q.ReadU64(base+8*i))
 					case 2:
 						n := uint64(len(buf))
 						if i+n > words {
 							n = words - i
 						}
 						q.ReadU64s(base+8*i, buf[:n])
+						for _, v := range buf[:n] {
+							sum = mix(sum, v)
+						}
 					case 3:
 						n := uint64(len(buf))
 						if i+n > words {
@@ -78,25 +97,42 @@ func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool) tlbTr
 						}
 						q.CopyWords(base+8*j, base+8*i, int(n))
 					case 5:
-						_ = q.TestAndSet(base + 8*i)
+						if q.TestAndSet(base + 8*i) {
+							sum = mix(sum, 1)
+						} else {
+							sum = mix(sum, 0)
+						}
 					}
 				}
+				sums[w] = sum
 				done.Advance(q)
 			}, WithName(fmt.Sprintf("w%d", w)), NotMigratable())
 		}
 		// A migrating worker exercises the TLB's SVM rebinding: its
 		// cached translations must die when it lands on another node.
 		p.Create(func(q *Proc) {
+			sum := uint64(14695981039346656037)
 			for hop := 0; hop < 3; hop++ {
 				q.Migrate((q.NodeID() + 1) % workers)
 				for k := 0; k < 32; k++ {
 					a := base + 8*uint64((hop*37+k*5)%words)
-					q.WriteU64(a, q.ReadU64(a)+1)
+					v := q.ReadU64(a)
+					sum = mix(sum, v)
+					q.WriteU64(a, v+1)
 				}
 			}
+			sums[workers] = sum
 			done.Advance(q)
 		}, WithName("hopper"))
 		done.Wait(p, workers+1)
+		// Final sweep: the region's end-state contents must also match.
+		final := make([]uint64, words)
+		p.ReadU64s(base, final)
+		sum := uint64(14695981039346656037)
+		for _, v := range final {
+			sum = mix(sum, v)
+		}
+		sums[workers+1] = sum
 	})
 	if err != nil {
 		t.Fatalf("%v trace (tlb disabled=%v): %v", alg, disableTLB, err)
@@ -104,7 +140,7 @@ func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool) tlbTr
 	if err := c.VerifyCoherence(); err != nil {
 		t.Fatalf("%v trace (tlb disabled=%v): %v", alg, disableTLB, err)
 	}
-	return tlbTraceResult{elapsed: c.Elapsed(), stats: c.Snapshot()}
+	return tlbTraceResult{elapsed: c.Elapsed(), stats: c.Snapshot(), sums: sums}
 }
 
 // TestTLBDeterminism is the shootdown property test: the same randomized
@@ -133,6 +169,10 @@ func TestTLBDeterminism(t *testing.T) {
 				if !reflect.DeepEqual(on.stats, off.stats) {
 					t.Errorf("seed %d: cluster statistics diverge with TLB on vs off:\non:  %+v\noff: %+v",
 						seed, on.stats.Total().SVM, off.stats.Total().SVM)
+				}
+				if !reflect.DeepEqual(on.sums, off.sums) {
+					t.Errorf("seed %d: read-data checksums diverge with TLB on vs off (stale TLB data):\non:  %v\noff: %v",
+						seed, on.sums, off.sums)
 				}
 			}
 		})
