@@ -1,0 +1,120 @@
+// Command ivyvet runs the simulator's custom static-analysis suite
+// (internal/ivyvet) over the module: determinism, maporder, shootdown,
+// hotpath, and wiresym. Usage:
+//
+//	go run ./cmd/ivyvet ./...
+//	go run ./cmd/ivyvet -tests=false ./internal/core
+//	go run ./cmd/ivyvet -list
+//
+// It exits 1 when any diagnostic survives (suppress deliberate,
+// documented violations with `//ivyvet:ignore reason` on the flagged
+// line or the line above), and 2 on load failure.
+//
+// The analyzers are written against the go/analysis API shape; with
+// network access they would build into a multichecker binary usable as
+// `go vet -vettool=$(which ivyvet) ./...`. Offline, this driver loads
+// and type-checks the whole module itself (internal/ivyvet/load), which
+// is also what lets the hotpath analyzer resolve //ivy:hotpath
+// annotations across package boundaries without a facts store.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/ivyvet"
+	"repro/internal/ivyvet/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	tests := flag.Bool("tests", true, "also analyze _test.go files")
+	flag.Parse()
+
+	if *list {
+		for _, a := range ivyvet.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fail(err)
+	}
+	modPath, err := load.ModulePathFromGoMod(root)
+	if err != nil {
+		fail(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for i, pat := range patterns {
+		// Accept go-vet-style directory patterns: "./internal/core"
+		// becomes the package's import path.
+		if pat == "./..." || !strings.HasPrefix(pat, ".") {
+			continue
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			fail(err)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			fail(fmt.Errorf("ivyvet: pattern %q is outside module root %s", pat, root))
+		}
+		if rel == "." {
+			patterns[i] = modPath
+		} else {
+			patterns[i] = modPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	cfg := load.Config{ModuleRoot: root, ModulePath: modPath, Tests: *tests}
+	pr, err := cfg.Load(patterns...)
+	if err != nil {
+		fail(err)
+	}
+	diags, err := ivyvet.RunProgram(pr, ivyvet.Analyzers())
+	if err != nil {
+		fail(err)
+	}
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", rel, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ivyvet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("ivyvet: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

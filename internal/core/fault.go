@@ -283,6 +283,8 @@ func (s *SVM) ReadU64(ctx Ctx, addr uint64) uint64 {
 // not already at the front, a probe miss, a TLB-less context — tail-
 // calls the slow variant, which redoes the probe with the calls in
 // place (re-probing is safe: nothing between the two probes can yield).
+//
+//ivy:hotpath calls=readU64TSlow
 func (s *SVM) ReadU64T(t *TLB, ctx Ctx, addr uint64) uint64 {
 	s.st.SVM.ReadAccesses++
 	if t != nil {
@@ -351,6 +353,8 @@ func (s *SVM) WriteU64(ctx Ctx, addr uint64, v uint64) {
 
 // WriteU64T is WriteU64 with the translation cache resolved by the
 // caller; see ReadU64T (including the call-free/slow split).
+//
+//ivy:hotpath calls=writeU64TSlow
 func (s *SVM) WriteU64T(t *TLB, ctx Ctx, addr uint64, v uint64) {
 	s.st.SVM.WriteAccesses++
 	if t != nil {

@@ -161,6 +161,8 @@ func (t *TLB) FlushAll() {
 // lookup returns the live frame for page p if the cached translation is
 // current and grants at least mode, or nil on a miss. The epoch
 // compare is the entire shootdown protocol from the reader's side.
+//
+//ivy:hotpath calls=FlushAll
 func (t *TLB) lookup(s *SVM, p mmu.PageID, mode mmu.Access) *memfs.Frame {
 	if t.svm != s {
 		// Bound to another node's SVM (the context migrated, or the
@@ -193,6 +195,8 @@ func (t *TLB) lookup(s *SVM, p mmu.PageID, mode mmu.Access) *memfs.Frame {
 // panics on genuinely bad addresses, and refills on success). The
 // semantics are identical to lookup; the two exist separately so a
 // scalar access costs one call here instead of a chain of helpers.
+//
+//ivy:hotpath
 func (t *TLB) hit(s *SVM, addr uint64, n int, mode mmu.Access) ([]byte, int) {
 	if t.svm != s {
 		t.misses++ // rebind happens on the checked path's fill

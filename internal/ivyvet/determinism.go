@@ -1,0 +1,95 @@
+package ivyvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/ivyvet/analysis"
+)
+
+// determinismScope is the set of internal packages whose code runs
+// inside the simulated cluster (plus the harness, whose measurements
+// must be replayable): within them, wall-clock time, the global
+// math/rand source, and bare goroutines are all nondeterminism leaks —
+// the property that makes Figure 5 / Table 1 exactly reproducible is
+// that virtual time and scheduling advance only through sim.Engine.
+var determinismScope = map[string]bool{
+	"core": true, "sim": true, "ring": true, "remop": true, "disk": true,
+	"memfs": true, "ec": true, "proc": true, "alloc": true, "apps": true,
+	"harness": true,
+}
+
+// forbiddenTimeFuncs are the package time functions that read or wait on
+// the wall clock. Types and arithmetic (time.Duration, d.Seconds) stay
+// legal — only observing real time is banned.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// randConstructors build private sources; they are sanctioned only
+// inside internal/sim, where Engine.New seeds the one simulation source
+// from configuration.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// DeterminismAnalyzer flags wall-clock reads, global math/rand use, and
+// bare go statements inside the simulated world.
+var DeterminismAnalyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flag time.Now/Since/Sleep, global math/rand, and bare go statements in simulated-world packages; " +
+		"virtual time and scheduling must advance only through sim.Engine",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) (interface{}, error) {
+	if !determinismScope[simWorldComponent(pass.PkgPath)] {
+		return nil, nil
+	}
+	inSim := simWorldComponent(pass.PkgPath) == "sim"
+
+	// References (not just calls): passing time.Now as a value is as
+	// much a leak as calling it.
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			// Methods are fine: d.Round on a Duration, r.Float64 on the
+			// engine's own seeded source.
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if forbiddenTimeFuncs[fn.Name()] {
+				pass.Reportf(id.Pos(),
+					"time.%s reads the wall clock inside the simulated world; use virtual time via sim.Engine", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if randConstructors[fn.Name()] {
+				if !inSim {
+					pass.Reportf(id.Pos(),
+						"rand.%s constructs a private random source outside internal/sim; draw randomness from the engine's seeded source (sim.Engine.Rand)", fn.Name())
+				}
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"rand.%s uses the process-global random source; draw randomness from the engine's seeded source (sim.Engine.Rand)", fn.Name())
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"bare go statement inside the simulated world; concurrency must be a sim.Engine fiber so scheduling stays deterministic")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,283 @@
+package ivyvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/ivyvet/analysis"
+)
+
+// HotpathAnalyzer turns the AllocsPerRun guards of PR 2 into a
+// compile-time check: a function whose doc comment carries a line
+//
+//	//ivy:hotpath
+//	//ivy:hotpath calls=slowTail,Other.Exit
+//
+// must contain no allocating constructs — closures, fmt.*, interface
+// conversions, append/make/new, reference composite literals, string
+// concatenation — and no calls except to other //ivy:hotpath functions,
+// to a small intrinsic set (encoding/binary byte-order methods,
+// math/bits), to non-allocating builtins, or to the declared calls=
+// exits (the cold tail a fast path bails to; list them explicitly so
+// the one sanctioned escape per function is visible in the source).
+//
+// Annotations on callees in other packages of this module are resolved
+// through their parsed syntax, so cross-package fast paths (core's word
+// accessors calling memfs.Pool.Front) stay checked end to end.
+var HotpathAnalyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "enforce that //ivy:hotpath functions are allocation-free and call only other " +
+		"hotpath functions, intrinsics, or their declared calls= exits",
+	Run: runHotpath,
+}
+
+// allowedBuiltins never allocate.
+var allowedBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true,
+	"min": true, "max": true, "real": true, "imag": true,
+	// panic is a crash path; its cost is irrelevant.
+	"panic": true,
+}
+
+// intrinsicPkgs hold tiny leaf helpers the compiler intrinsifies or
+// fully inlines (byte-order loads/stores, bit twiddling).
+var intrinsicPkgs = map[string]bool{
+	"encoding/binary": true,
+	"math/bits":       true,
+}
+
+// hotpathAnn is one parsed annotation.
+type hotpathAnn struct {
+	annotated bool
+	exits     []string // calls= entries: Name, Recv.Name, or pkg.Name
+}
+
+func parseHotpathAnn(doc *ast.CommentGroup) hotpathAnn {
+	if doc == nil {
+		return hotpathAnn{}
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//ivy:hotpath")
+		if !ok {
+			continue
+		}
+		ann := hotpathAnn{annotated: true}
+		for _, field := range strings.Fields(rest) {
+			if v, ok := strings.CutPrefix(field, "calls="); ok {
+				ann.exits = append(ann.exits, strings.Split(v, ",")...)
+			}
+		}
+		return ann
+	}
+	return hotpathAnn{}
+}
+
+func runHotpath(pass *analysis.Pass) (interface{}, error) {
+	hp := &hotpathPass{pass: pass, anns: make(map[*types.Func]hotpathAnn)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ann := parseHotpathAnn(fd.Doc)
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				hp.anns[fn] = ann
+			}
+			if ann.annotated {
+				hp.checkBody(fd, ann)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type hotpathPass struct {
+	pass *analysis.Pass
+	anns map[*types.Func]hotpathAnn
+}
+
+func (hp *hotpathPass) checkBody(fd *ast.FuncDecl, ann hotpathAnn) {
+	pass := hp.pass
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(v.Pos(), "%s is //ivy:hotpath: closure may allocate its captures", name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(v.Pos(), "%s is //ivy:hotpath: go statement allocates a goroutine", name)
+		case *ast.DeferStmt:
+			pass.Reportf(v.Pos(), "%s is //ivy:hotpath: defer has scheduling cost on the fast path", name)
+		case *ast.SendStmt:
+			pass.Reportf(v.Pos(), "%s is //ivy:hotpath: channel operation on the fast path", name)
+		case *ast.SelectStmt:
+			pass.Reportf(v.Pos(), "%s is //ivy:hotpath: select on the fast path", name)
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.Types[v].Type
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(v.Pos(), "%s is //ivy:hotpath: %s literal allocates", name, kindWord(t))
+			}
+		case *ast.UnaryExpr:
+			if _, ok := v.X.(*ast.CompositeLit); ok && v.Op.String() == "&" {
+				pass.Reportf(v.Pos(), "%s is //ivy:hotpath: &composite literal allocates", name)
+			}
+		case *ast.BinaryExpr:
+			if v.Op.String() == "+" {
+				if t, ok := pass.TypesInfo.Types[v].Type.Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+					pass.Reportf(v.Pos(), "%s is //ivy:hotpath: string concatenation allocates", name)
+				}
+			}
+		case *ast.CallExpr:
+			hp.checkCall(fd, v, ann)
+		}
+		return true
+	})
+}
+
+func (hp *hotpathPass) checkCall(fd *ast.FuncDecl, call *ast.CallExpr, ann hotpathAnn) {
+	pass := hp.pass
+	name := fd.Name.Name
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: numeric reshaping is free; boxing into an interface
+	// is an allocation.
+	if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at, ok := pass.TypesInfo.Types[call.Args[0]]; ok && !types.IsInterface(at.Type) {
+				pass.Reportf(call.Pos(), "%s is //ivy:hotpath: conversion to interface %s allocates", name, tv.Type)
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if !allowedBuiltins[b.Name()] {
+				pass.Reportf(call.Pos(), "%s is //ivy:hotpath: builtin %s may allocate", name, b.Name())
+			}
+			return
+		}
+	}
+
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		pass.Reportf(call.Pos(), "%s is //ivy:hotpath: indirect call cannot be verified allocation-free", name)
+		return
+	}
+	if fn.Pkg() != nil && intrinsicPkgs[fn.Pkg().Path()] {
+		return
+	}
+	if hp.isHotpath(fn) {
+		return
+	}
+	if matchesExit(fn, ann.exits) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s is //ivy:hotpath: call to non-hotpath %s (annotate the callee //ivy:hotpath, or declare the cold exit with calls=%s)",
+		name, fn.Name(), fn.Name())
+}
+
+// isHotpath reports whether fn carries the annotation, resolving
+// cross-package callees through their package's parsed syntax.
+func (hp *hotpathPass) isHotpath(fn *types.Func) bool {
+	if ann, ok := hp.anns[fn]; ok {
+		return ann.annotated
+	}
+	ann := hotpathAnn{}
+	if fn.Pkg() != nil {
+		if files := hp.pass.PkgSyntax(fn.Pkg().Path()); files != nil {
+			if fd := findFuncDecl(files, fn); fd != nil {
+				ann = parseHotpathAnn(fd.Doc)
+			}
+		}
+	}
+	hp.anns[fn] = ann
+	return ann.annotated
+}
+
+// findFuncDecl locates fn's declaration in files by name and receiver
+// type name.
+func findFuncDecl(files []*ast.File, fn *types.Func) *ast.FuncDecl {
+	wantRecv := recvTypeName(fn)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fn.Name() {
+				continue
+			}
+			if declRecvName(fd) == wantRecv {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the name of fn's receiver type, or "".
+func recvTypeName(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// declRecvName returns the receiver type name of a declaration, or "".
+func declRecvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		if id, ok := idx.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// matchesExit reports whether fn matches one of the calls= entries:
+// bare name, Recv.Name, or pkg.Name.
+func matchesExit(fn *types.Func, exits []string) bool {
+	recv := recvTypeName(fn)
+	for _, e := range exits {
+		if e == fn.Name() {
+			return true
+		}
+		if recv != "" && e == recv+"."+fn.Name() {
+			return true
+		}
+		if fn.Pkg() != nil && e == fn.Pkg().Name()+"."+fn.Name() {
+			return true
+		}
+	}
+	return false
+}
+
+func kindWord(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

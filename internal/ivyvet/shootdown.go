@@ -1,0 +1,94 @@
+package ivyvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/ivyvet/analysis"
+)
+
+// ShootdownAnalyzer mechanizes the audit PR 2's review performed by
+// hand: memfs.Pool.Put replaces a resident frame's data slice in place,
+// which stales any software-TLB way caching the old slice without
+// firing one of the protection-lowering shootdown sites. SVM.install is
+// the mandatory wrapper that shoots the TLB epoch on that replacement,
+// so every Put outside memfs itself (whose own tests exercise the pool
+// directly, below any TLB) must go through it.
+var ShootdownAnalyzer = &analysis.Analyzer{
+	Name: "shootdown",
+	Doc: "flag memfs.Pool.Put calls outside SVM.install; in-place frame replacement must " +
+		"advance the TLB shootdown epoch or cached translations serve stale bytes",
+	Run: runShootdown,
+}
+
+func runShootdown(pass *analysis.Pass) (interface{}, error) {
+	if simWorldComponent(pass.PkgPath) == "memfs" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exempt := isSVMInstall(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if fn == nil || !isPoolPut(fn) {
+					return true
+				}
+				if exempt {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"memfs.Pool.Put outside SVM.install: an in-place frame replacement here skips the TLB shootdown epoch; call (*SVM).install instead")
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isPoolPut reports whether fn is the Put method of memfs.Pool.
+func isPoolPut(fn *types.Func) bool {
+	if fn.Name() != "Put" || fn.Pkg() == nil || simWorldComponent(fn.Pkg().Path()) != "memfs" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+// isSVMInstall reports whether fd is the method install on *SVM — the
+// one sanctioned Put site.
+func isSVMInstall(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "install" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[fd.Name]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "SVM"
+}

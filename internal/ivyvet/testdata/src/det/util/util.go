@@ -1,0 +1,8 @@
+// Package util sits outside the simulated world (no internal/<sim
+// component> in its path): the wall clock is fair game.
+package util
+
+import "time"
+
+// Stamp is clean: host-side tooling may read real time.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,68 @@
+// Package hot is hotpath-analyzer golden input: annotated fast paths
+// that must stay allocation- and call-free.
+package hot
+
+import (
+	"encoding/binary"
+
+	"hot/lib"
+)
+
+var sink func()
+
+type pair struct{ a, b int }
+
+// fast is a clean fast path: an allowed builtin, an intrinsic, a
+// cross-package hotpath callee, a by-value struct literal, and a
+// declared cold exit.
+//
+//ivy:hotpath calls=slow
+func fast(b []byte) uint64 {
+	if len(b) < 8 {
+		return slow(b)
+	}
+	p := pair{a: lib.Front(), b: 1}
+	return binary.LittleEndian.Uint64(b) + uint64(p.a+p.b)
+}
+
+// slow is the declared cold exit; unannotated code allocates freely.
+func slow(b []byte) uint64 {
+	c := make([]byte, 8)
+	copy(c, b)
+	return uint64(len(c))
+}
+
+// leakClosure captures n.
+//
+//ivy:hotpath
+func leakClosure(n int) {
+	sink = func() { _ = n } // want `closure may allocate its captures`
+}
+
+// leakCall calls a non-hotpath function without declaring it.
+//
+//ivy:hotpath
+func leakCall(b []byte) uint64 {
+	return slow(b) // want `call to non-hotpath slow`
+}
+
+// leakAppend grows a slice on the fast path.
+//
+//ivy:hotpath
+func leakAppend(xs []int, x int) []int {
+	return append(xs, x) // want `builtin append may allocate`
+}
+
+// leakBox boxes an integer into an interface.
+//
+//ivy:hotpath
+func leakBox(n int) interface{} {
+	return interface{}(n) // want `conversion to interface`
+}
+
+// leakLit builds a slice literal per call.
+//
+//ivy:hotpath
+func leakLit(a, b int) []int {
+	return []int{a, b} // want `slice literal allocates`
+}

@@ -1,0 +1,8 @@
+// Package lib holds a cross-package hotpath callee: the analyzer must
+// resolve the annotation through this package's parsed syntax.
+package lib
+
+// Front returns a cached head pointer.
+//
+//ivy:hotpath
+func Front() int { return 0 }

@@ -1,0 +1,25 @@
+// Package core exercises the //ivyvet:ignore escape hatch (see
+// TestIgnoreMechanism; counts are asserted there rather than with want
+// comments, because a bare ignore cannot carry trailing text).
+package core
+
+import "time"
+
+// now is a deliberate, documented wall-clock read: suppressed by the
+// ignore on the preceding line.
+func now() time.Time {
+	//ivyvet:ignore golden-test example of a documented deliberate violation
+	return time.Now()
+}
+
+// later is suppressed by a trailing ignore on the same line.
+func later() time.Time {
+	return time.Now() //ivyvet:ignore golden-test trailing-comment placement
+}
+
+// bare carries an ignore without a reason: the ignore itself is an
+// error, and the violation below it is NOT suppressed.
+func bare() time.Time {
+	//ivyvet:ignore
+	return time.Now()
+}

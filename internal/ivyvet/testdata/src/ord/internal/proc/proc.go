@@ -1,0 +1,52 @@
+// Package proc is maporder-analyzer golden input: map iteration whose
+// body drives simulation behavior versus order-blind aggregation.
+package proc
+
+import (
+	"sort"
+
+	"ord/internal/sim"
+)
+
+// wakeAll leaks map order into fiber wake order.
+func wakeAll(waiting map[int]bool) {
+	for id := range waiting { // want `map iteration order drives simulation behavior \(call to sim\.Wake`
+		sim.Wake(id)
+	}
+}
+
+// drain leaks map order through a channel send.
+func drain(pending map[int]chan int) {
+	for _, ch := range pending { // want `map iteration order drives simulation behavior \(channel send`
+		ch <- 1
+	}
+}
+
+// count is clean: folding a map into a scalar is order-blind.
+func count(waiting map[int]bool) int {
+	n := 0
+	for range waiting {
+		n++
+	}
+	return n
+}
+
+// wakeSorted is the sanctioned pattern: collect the keys, sort them,
+// and act over the slice in a deterministic order.
+func wakeSorted(waiting map[int]bool) {
+	ids := make([]int, 0, len(waiting))
+	for id := range waiting {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		sim.Wake(id)
+	}
+}
+
+// wakeSlice is clean: ranging a slice is already deterministic.
+func wakeSlice(ids []int) {
+	for _, id := range ids {
+		sim.Wake(id)
+	}
+}

@@ -1,0 +1,7 @@
+// Package sim stubs the simulated machinery: a call into it from a
+// map-range body makes Go's randomized iteration order observable by
+// the simulation.
+package sim
+
+// Wake schedules a fiber — a simulation decision.
+func Wake(id int) {}

@@ -1,0 +1,29 @@
+// Package core is shootdown-analyzer golden input. writeFault below
+// reintroduces the exact bug PR 2's review found by hand: installing a
+// reply's page bytes via pool.Put directly, skipping the TLB shootdown
+// epoch, so a way filled earlier keeps serving the old data slice.
+package core
+
+import "shoot/internal/memfs"
+
+type SVM struct {
+	pool     memfs.Pool
+	shootGen uint64
+}
+
+// install is the one sanctioned Put site: it advances the shootdown
+// epoch alongside the in-place frame replacement.
+func (s *SVM) install(p memfs.PageID, data []byte) *memfs.Frame {
+	s.shootGen++
+	return s.pool.Put(p, data)
+}
+
+// readFault routes through install — clean.
+func (s *SVM) readFault(p memfs.PageID, data []byte) *memfs.Frame {
+	return s.install(p, data)
+}
+
+// writeFault installs directly — the PR 2 stale-TLB bug.
+func (s *SVM) writeFault(p memfs.PageID, data []byte) *memfs.Frame {
+	return s.pool.Put(p, data) // want `memfs\.Pool\.Put outside SVM\.install`
+}

@@ -1,0 +1,121 @@
+// Package wire is wiresym-analyzer golden input: a miniature of the
+// real wire package's Kind/Register vocabulary with one well-formed
+// message and every way a message can go wrong.
+package wire
+
+type Kind uint8
+
+type Msg interface{ Kind() Kind }
+
+type Buffer struct{}
+
+func (b *Buffer) PutU32(uint32)   {}
+func (b *Buffer) PutU64(uint64)   {}
+func (b *Buffer) PutBytes([]byte) {}
+
+type Reader struct{}
+
+func (r *Reader) U32() uint32   { return 0 }
+func (r *Reader) U64() uint64   { return 0 }
+func (r *Reader) Bytes() []byte { return nil }
+
+var registry = map[Kind]func() Msg{}
+
+func Register(k Kind, f func() Msg) { registry[k] = f }
+
+const (
+	KindGood     Kind = 1
+	KindVec      Kind = 2
+	KindSkew     Kind = 3
+	KindRenegade Kind = 4
+	KindOrphan   Kind = 5 // want `wire kind KindOrphan has no Register call`
+	KindNameless Kind = 6 // want `wire kind KindNameless missing from kindNames`
+)
+
+var kindNames = map[Kind]string{
+	KindGood:     "good",
+	KindVec:      "vec",
+	KindSkew:     "skew",
+	KindRenegade: "renegade",
+	KindOrphan:   "orphan",
+}
+
+func init() {
+	Register(KindGood, func() Msg { return new(Good) })
+	Register(KindVec, func() Msg { return new(Vec) })
+	Register(KindSkew, func() Msg { return new(Skew) })
+	Register(KindRenegade, func() Msg { return new(Renegade) })
+	Register(KindNameless, func() Msg { return new(Nameless) })
+}
+
+// Good encodes and decodes the same field sequence — clean.
+type Good struct {
+	A uint32
+	B []byte
+}
+
+func (m *Good) Kind() Kind { return KindGood }
+
+func (m *Good) Encode(b *Buffer) {
+	b.PutU32(m.A)
+	b.PutBytes(m.B)
+}
+
+func (m *Good) Decode(r *Reader) {
+	m.A = r.U32()
+	m.B = r.Bytes()
+}
+
+// Vec's repeated section is matched loop-for-loop — clean.
+type Vec struct{ Xs []uint64 }
+
+func (m *Vec) Kind() Kind { return KindVec }
+
+func (m *Vec) Encode(b *Buffer) {
+	b.PutU32(uint32(len(m.Xs)))
+	for _, x := range m.Xs {
+		b.PutU64(x)
+	}
+}
+
+func (m *Vec) Decode(r *Reader) {
+	n := r.U32()
+	for i := uint32(0); i < n; i++ {
+		m.Xs = append(m.Xs, r.U64())
+	}
+}
+
+// Skew's Decode misses the field Encode writes last.
+type Skew struct {
+	A uint32
+	B uint64
+}
+
+func (m *Skew) Kind() Kind { return KindSkew }
+
+func (m *Skew) Encode(b *Buffer) {
+	b.PutU32(m.A)
+	b.PutU64(m.B)
+}
+
+func (m *Skew) Decode(r *Reader) { // want `Skew: Encode writes \[u32 u64\] but Decode reads \[u32\]`
+	m.A = r.U32()
+}
+
+// Renegade is registered under KindRenegade but claims another kind.
+type Renegade struct{}
+
+func (m *Renegade) Kind() Kind { return KindGood } // want `Renegade\.Kind\(\) returns KindGood but the type is registered under KindRenegade`
+
+func (m *Renegade) Encode(b *Buffer) {}
+func (m *Renegade) Decode(r *Reader) {}
+
+// Nameless round-trips correctly but was left out of kindNames (the
+// diagnostic sits on its constant above).
+type Nameless struct{ A uint64 }
+
+func (m *Nameless) Kind() Kind { return KindNameless }
+
+func (m *Nameless) Encode(b *Buffer) { b.PutU64(m.A) }
+
+func (m *Nameless) Decode(r *Reader) { m.A = r.U64() }

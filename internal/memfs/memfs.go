@@ -79,6 +79,8 @@ func (pl *Pool) Init(capacity int, evict EvictFunc, canEvict CanEvictFunc) {
 }
 
 // pushFront links fr as the most recently used frame.
+//
+//ivy:hotpath
 func (pl *Pool) pushFront(fr *Frame) {
 	fr.prev = nil
 	fr.next = pl.head
@@ -91,6 +93,8 @@ func (pl *Pool) pushFront(fr *Frame) {
 }
 
 // unlink removes fr from the LRU list.
+//
+//ivy:hotpath
 func (pl *Pool) unlink(fr *Frame) {
 	if fr.prev != nil {
 		fr.prev.next = fr.next
@@ -106,6 +110,8 @@ func (pl *Pool) unlink(fr *Frame) {
 }
 
 // moveToFront marks fr most recently used.
+//
+//ivy:hotpath
 func (pl *Pool) moveToFront(fr *Frame) {
 	if pl.head == fr {
 		return
@@ -156,6 +162,8 @@ func (pl *Pool) GetFrame(p mmu.PageID) *Frame {
 // TouchFrame marks a cached frame handle most recently used — the TLB
 // hit path's replacement-policy update, identical in effect to the map
 // lookup Get performs on a miss.
+//
+//ivy:hotpath
 func (pl *Pool) TouchFrame(fr *Frame) {
 	pl.moveToFront(fr)
 }
@@ -163,6 +171,8 @@ func (pl *Pool) TouchFrame(fr *Frame) {
 // Front returns the most recently used frame (nil when empty) — the
 // TLB hit path compares against it to skip the touch for consecutive
 // accesses to one page.
+//
+//ivy:hotpath
 func (pl *Pool) Front() *Frame { return pl.head }
 
 // Peek returns the frame data without touching LRU order (used when

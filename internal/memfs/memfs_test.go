@@ -182,6 +182,9 @@ func TestPropertyCapacityInvariant(t *testing.T) {
 					ok = false
 				}
 			}
+			// Order-blind assertion: Resident is a pure query and the
+			// loop only folds into a bool, so iteration order is moot.
+			//ivyvet:ignore order-blind assertion over pure queries
 			for p := range inserted {
 				if !pool.Resident(p) && !evicted[p] {
 					ok = false

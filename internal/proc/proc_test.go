@@ -676,13 +676,17 @@ func TestLoadHintByteSaturates(t *testing.T) {
 }
 
 func TestProcessStates(t *testing.T) {
-	for s, want := range map[State]string{
-		Created: "created", Ready: "ready", Running: "running",
-		Suspended: "suspended", Terminated: "terminated", Migrated: "migrated",
-		State(99): "State(99)",
-	} {
-		if s.String() != want {
-			t.Fatalf("%d.String() = %q", s, s.String())
+	cases := []struct {
+		s    State
+		want string
+	}{
+		{Created, "created"}, {Ready, "ready"}, {Running, "running"},
+		{Suspended, "suspended"}, {Terminated, "terminated"}, {Migrated, "migrated"},
+		{State(99), "State(99)"},
+	}
+	for _, c := range cases {
+		if c.s.String() != c.want {
+			t.Fatalf("%d.String() = %q", c.s, c.s.String())
 		}
 	}
 	pid := PID{Node: 2, PCB: 0xab}

@@ -24,6 +24,7 @@ package remop
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/model"
@@ -142,6 +143,8 @@ type Endpoint struct {
 	gates    map[wire.Kind]Gate
 	nextReq  uint32
 	out      map[uint32]*pending
+	// retransScratch is retransmitCheck's reusable sorted-key buffer.
+	retransScratch []uint32
 
 	// replyCache holds recent replies keyed by (origin, reqID) so
 	// duplicate requests are answered without re-execution. inProgress
@@ -572,9 +575,27 @@ func (ep *Endpoint) scheduleRetransmitCheck() {
 // retransmitCheck resends outstanding requests that have waited a full
 // period. Broadcast-all requests are re-driven point-to-point to the
 // nodes that have not yet responded.
+//
+// The outstanding table is a map, and everything this loop does —
+// retransmissions, give-up wakes, stuck-recovery unparks — is visible
+// to the simulation, so iterating the map directly would leak Go's
+// randomized iteration order into virtual time (the hazard ivyvet's
+// maporder analyzer exists to catch; it found the original version of
+// this loop). The request ids are collected and sorted first, reusing a
+// scratch slice so the steady-state check stays allocation-free.
 func (ep *Endpoint) retransmitCheck() {
 	now := ep.eng.Now()
-	for _, p := range ep.out {
+	ids := ep.retransScratch[:0]
+	for id := range ep.out {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	ep.retransScratch = ids
+	for _, id := range ids {
+		p, ok := ep.out[id]
+		if !ok {
+			continue // removed by an earlier give-up this same pass
+		}
 		if p.woken || now.Sub(p.sentAt) < retransmitPeriod {
 			continue
 		}

@@ -92,6 +92,14 @@ type Engine struct {
 
 // New returns an engine whose random source is seeded with seed.
 // The same seed always produces the same simulation.
+//
+// This is the simulation's single source of randomness: every random
+// draw in the simulated world (network jitter, app workloads, manager
+// tie-breaks) must come from Rand, never from the package-level
+// math/rand functions or a source constructed elsewhere, so that one
+// explicit seed replays the whole run bit-for-bit. The determinism
+// analyzer (internal/ivyvet) enforces this mechanically — it permits
+// rand constructors only here, in internal/sim.
 func New(seed int64) *Engine {
 	return &Engine{
 		rng:     rand.New(rand.NewSource(seed)),

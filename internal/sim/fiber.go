@@ -35,6 +35,11 @@ func (e *Engine) Go(name string, body func(f *Fiber)) *Fiber {
 		resume: make(chan struct{}),
 	}
 	e.live++
+	// This is the one sanctioned goroutine launch in the simulated
+	// world: the goroutine backing the fiber itself. It runs only under
+	// the engine's strict resume/yield handshake (exactly one unit of
+	// work executes at any moment), so it adds no scheduling freedom.
+	//ivyvet:ignore fiber backing goroutine; serialized by the engine handshake
 	go func() {
 		// Wait for the first resume before touching any engine state.
 		<-f.resume

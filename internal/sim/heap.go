@@ -9,6 +9,7 @@ type eventHeap struct {
 
 func (h *eventHeap) len() int { return len(h.a) }
 
+//ivy:hotpath
 func (h *eventHeap) less(i, j int) bool {
 	if h.a[i].at != h.a[j].at {
 		return h.a[i].at < h.a[j].at
@@ -29,6 +30,10 @@ func (h *eventHeap) push(ev *event) {
 	}
 }
 
+// pop is the engine's event-dispatch fast path; push stays unannotated
+// because its append may grow the backing array.
+//
+//ivy:hotpath
 func (h *eventHeap) pop() *event {
 	if len(h.a) == 0 {
 		return nil
@@ -42,6 +47,7 @@ func (h *eventHeap) pop() *event {
 	return top
 }
 
+//ivy:hotpath
 func (h *eventHeap) siftDown(i int) {
 	n := len(h.a)
 	for {
