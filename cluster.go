@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/mmu"
 	"repro/internal/proc"
@@ -30,6 +31,7 @@ type Cluster struct {
 	sts     []*stats.Node
 	allocs  []*alloc.Service
 	procs   *proc.Cluster
+	inj     *chaos.Injector // nil unless Config.Chaos was set
 	elapsed sim.Time
 	ran     bool
 
@@ -93,11 +95,79 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.Processors; i++ {
 		nodes[i] = c.procs.Node(i)
 	}
+	if cfg.Chaos != nil {
+		c.armChaos(*cfg.Chaos)
+	}
 	if cfg.Trace != nil {
 		c.StartTrace(cfg.Trace.W, TraceOpts{SampleInterval: cfg.Trace.SampleInterval})
 	}
 	return c
 }
+
+// armChaos converts the public ChaosOpts into the internal fault plane
+// and installs it: the ring injector, the crash/rejoin schedule, and
+// (tests only) the broken-invalidation hook.
+func (c *Cluster) armChaos(co ChaosOpts) {
+	opts := chaos.Opts{
+		DuplicateProb:  co.DuplicateProbability,
+		DuplicateDelay: co.DuplicateDelay,
+		DelayProb:      co.DelayProbability,
+		MaxDelay:       co.MaxDelay,
+		LossProb:       co.LossProbability,
+		BurstProb:      co.BurstProbability,
+		BurstLen:       co.BurstLength,
+		MaxFaults:      co.MaxFaults,
+	}
+	for _, cr := range co.Crashes {
+		if cr.Node < 0 || cr.Node >= c.cfg.Processors {
+			panic(fmt.Sprintf("ivy: chaos crash of unknown node %d", cr.Node))
+		}
+		opts.Crashes = append(opts.Crashes, chaos.Crash{
+			Node: ring.NodeID(cr.Node), At: cr.At, Downtime: cr.Downtime,
+		})
+	}
+	c.inj = chaos.NewInjector(c.eng, opts, c.cfg.Processors)
+	c.nw.SetInjector(c.inj)
+	if len(opts.Crashes) > 0 {
+		eps := make([]*remop.Endpoint, len(c.svms))
+		for i, svm := range c.svms {
+			eps[i] = svm.Endpoint()
+		}
+		c.inj.ScheduleCrashes(c.nw, eps)
+	}
+	if co.BreakInvalidation {
+		for _, svm := range c.svms {
+			svm.SetInvalDropHook(func(mmu.PageID) bool { return true })
+		}
+	}
+}
+
+// ChaosStats is the injected-fault counter block, re-exported from the
+// fault plane.
+type ChaosStats = chaos.Stats
+
+// ChaosStats returns the injected-fault counters, or the zero value when
+// no fault plane is armed.
+func (c *Cluster) ChaosStats() chaos.Stats {
+	if c.inj == nil {
+		return chaos.Stats{}
+	}
+	return c.inj.Stats()
+}
+
+// ChaosDigest returns the FNV-1a digest of the injected fault schedule
+// (0 when no fault plane is armed). Two runs saw identical fault
+// schedules iff their digests match.
+func (c *Cluster) ChaosDigest() uint64 {
+	if c.inj == nil {
+		return 0
+	}
+	return c.inj.Digest()
+}
+
+// NetworkStats returns the ring's traffic counters, including the
+// per-receiver delivery accounting the fault plane adds.
+func (c *Cluster) NetworkStats() ring.Stats { return c.nw.Stats() }
 
 // TraceOpts configures StartTrace.
 type TraceOpts struct {

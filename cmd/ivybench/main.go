@@ -16,6 +16,8 @@ import (
 	"os"
 	"time"
 
+	ivy "repro"
+	"repro/internal/chaos/check"
 	"repro/internal/cli"
 	"repro/internal/harness"
 )
@@ -24,9 +26,13 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, table1, managers, pagesize, alloc, migration, sensitivity, latency, sysmode")
 	maxProcs := flag.Int("maxprocs", 8, "largest processor count in sweeps (1..64)")
 	seed := flag.Int64("seed", 1, "simulation seed (results are deterministic per seed)")
+	chaos := flag.Bool("chaos", false, "run the chaos sequential-consistency checker (all managers x 3 seeds) and exit")
 	var tf cli.TraceFlags
 	tf.Register()
 	flag.Parse()
+	if *chaos {
+		os.Exit(runChaosSuite())
+	}
 	harness.SetSeed(*seed)
 	tc, closeTrace, err := tf.Config()
 	if err != nil {
@@ -182,6 +188,61 @@ func main() {
 	if tf.Out != "" {
 		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", tf.Out)
 	}
+}
+
+// runChaosSuite drives the sequential-consistency checker over every
+// manager algorithm under the standard hostile schedule — duplication,
+// bounded reordering, independent and burst loss, and one crash/restart
+// of node 2 — for three seeds each. Exit status is the number of failing
+// runs; every run is deterministic, so a failure here reproduces with
+// `go test ./internal/chaos/check` at the same seed.
+func runChaosSuite() int {
+	algs := []struct {
+		name string
+		alg  ivy.Algorithm
+	}{
+		{"DynamicDistributed", ivy.DynamicDistributed},
+		{"ImprovedCentralized", ivy.ImprovedCentralized},
+		{"FixedDistributed", ivy.FixedDistributed},
+		{"BroadcastManager", ivy.BroadcastManager},
+		{"BasicCentralized", ivy.BasicCentralized},
+	}
+	opts := &ivy.ChaosOpts{
+		DuplicateProbability: 0.05,
+		DuplicateDelay:       2 * time.Millisecond,
+		DelayProbability:     0.05,
+		MaxDelay:             2 * time.Millisecond,
+		LossProbability:      0.05,
+		BurstProbability:     0.01,
+		BurstLength:          4,
+		Crashes:              []ivy.NodeCrash{{Node: 2, At: 400 * time.Millisecond, Downtime: 900 * time.Millisecond}},
+	}
+	fmt.Println("=== Chaos: sequential-consistency checker under faults ===")
+	fmt.Printf("%-22s %4s  %-6s %9s %7s  %s\n", "manager", "seed", "result", "virtual", "events", "fault plane")
+	failures := 0
+	for _, a := range algs {
+		for seed := int64(1); seed <= 3; seed++ {
+			res := check.Run(check.Config{Algorithm: a.alg, Seed: seed, Chaos: opts})
+			verdict := "PASS"
+			if res.Failing() {
+				verdict = "FAIL"
+				failures++
+			}
+			cs := res.ChaosStats
+			fmt.Printf("%-22s %4d  %-6s %9s %7d  drop=%d dup=%d delay=%d crash=%d\n",
+				a.name, seed, verdict, res.Elapsed.Round(time.Millisecond), res.Events,
+				cs.Drops+cs.BurstDrops, cs.Dups, cs.Delays, cs.Crashes)
+			if res.Failing() {
+				fmt.Print(res.String())
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("chaos: %d failing runs\n", failures)
+	} else {
+		fmt.Println("chaos: all runs sequentially consistent")
+	}
+	return failures
 }
 
 func min(a, b int) int {

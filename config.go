@@ -115,6 +115,12 @@ type Config struct {
 	// exercising the retransmission protocol.
 	LossProbability float64
 
+	// Chaos, when non-nil, installs the fault plane: duplication, delay
+	// jitter, independent and burst loss, and crash/restart schedules,
+	// all drawn from Seed so faulty runs replay bit-for-bit. Nil — the
+	// default — costs nothing at run time. See internal/chaos.
+	Chaos *ChaosOpts
+
 	// BroadcastInvalidation switches write-fault invalidation to the
 	// broadcast reply-from-all scheme.
 	BroadcastInvalidation bool
@@ -139,6 +145,52 @@ type Config struct {
 	// Trace, when non-nil, enables the protocol span tracer (see
 	// TraceConfig). Nil — the default — costs nothing at run time.
 	Trace *TraceConfig
+}
+
+// NodeCrash schedules one node outage: the node's NIC goes dark at At
+// and comes back at At+Downtime, recovering by the protocol's
+// retransmission and ownership-chase paths. Node 0 hosts the central
+// manager and allocator in the default wiring; crashing it stalls any
+// workload that needs them until rejoin.
+type NodeCrash struct {
+	Node     int
+	At       time.Duration
+	Downtime time.Duration
+}
+
+// ChaosOpts parameterizes the fault plane (see internal/chaos for the
+// semantics and the failure-model limits). All probabilities apply
+// independently per per-receiver delivery attempt.
+type ChaosOpts struct {
+	// DuplicateProbability duplicates a delivery; the extra copy arrives
+	// up to DuplicateDelay later (point-to-point frames only).
+	DuplicateProbability float64
+	DuplicateDelay       time.Duration
+
+	// DelayProbability postpones a point-to-point delivery by up to
+	// MaxDelay, letting later frames overtake it (bounded reordering).
+	DelayProbability float64
+	MaxDelay         time.Duration
+
+	// LossProbability drops deliveries independently; BurstProbability
+	// starts a burst eating the next BurstLength deliveries to the same
+	// receiver (correlated loss).
+	LossProbability  float64
+	BurstProbability float64
+	BurstLength      int
+
+	// MaxFaults caps injected fault events (0 = unlimited) without
+	// shifting the random schedule — the shrinker's knob.
+	MaxFaults int
+
+	// Crashes lists node outages.
+	Crashes []NodeCrash
+
+	// BreakInvalidation makes every node acknowledge invalidations
+	// WITHOUT revoking its copy — a deliberately broken protocol for
+	// proving the sequential-consistency checker catches real bugs.
+	// Never set outside tests.
+	BreakInvalidation bool
 }
 
 // withDefaults fills unset fields.

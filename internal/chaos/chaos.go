@@ -1,0 +1,242 @@
+// Package chaos is the simulator's deterministic fault plane: message
+// duplication, bounded delay jitter, independent and burst loss on the
+// ring, and per-node crash/restart — every decision drawn from the
+// engine's own seeded random source, so a fault schedule replays
+// bit-for-bit from the run's seed. The paper's remote-operation layer
+// (forwarding, broadcast, reply-cache retransmission) exists precisely
+// because the ring loses and duplicates packets; this package produces
+// those packets so internal/chaos/check can prove the memory stays
+// sequentially consistent while they fly.
+//
+// Two deliberate limits keep injected faults within the failure model
+// the protocol is built for:
+//
+//   - Broadcast frames are never delayed and their duplicates never
+//     arrive late: a token-ring broadcast reaches every station in one
+//     rotation, and the delivery gates ("at most one server per
+//     transmission") rely on that atomicity. Broadcast copies may still
+//     be dropped or duplicated within the same instant.
+//
+//   - Crashes are fail-stutter NIC outages: a down node sends and
+//     receives nothing, but its page tables, frames, and reply cache
+//     survive. Only soft routing state (the forward cache) is dropped on
+//     restart. Losing a reply cache would orphan pages whose previous
+//     owner already relinquished them — a failure the paper's protocol
+//     does not claim to survive.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/remop"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Crash schedules one node outage: node goes down at At and rejoins at
+// At+Downtime.
+type Crash struct {
+	Node     ring.NodeID
+	At       time.Duration
+	Downtime time.Duration
+}
+
+// Opts parameterizes the fault plane. All probabilities are per
+// per-receiver delivery attempt and independent.
+type Opts struct {
+	// DuplicateProb duplicates a delivery; the copy lands up to
+	// DuplicateDelay later (point-to-point only; broadcast duplicates
+	// land in the same instant).
+	DuplicateProb  float64
+	DuplicateDelay time.Duration
+
+	// DelayProb postpones a delivery by up to MaxDelay — bounded
+	// reordering, since other frames overtake the delayed one.
+	// Broadcast frames are never delayed.
+	DelayProb float64
+	MaxDelay  time.Duration
+
+	// LossProb drops a delivery outright. BurstProb starts a burst that
+	// eats the next BurstLen deliveries to that same receiver — the
+	// correlated-loss pattern a ring interface dropping frames under
+	// overrun produces, which independent loss cannot model.
+	LossProb  float64
+	BurstProb float64
+	BurstLen  int
+
+	// MaxFaults caps the number of injected fault events (drops, dups,
+	// delays, burst drops); 0 means unlimited. Random-draw consumption
+	// is independent of the cap, so lowering it replays the same
+	// schedule prefix — the knob the shrinker binary-searches.
+	MaxFaults int
+
+	// Crashes lists node outages to schedule.
+	Crashes []Crash
+}
+
+// Stats counts the faults actually injected.
+type Stats struct {
+	Dups       uint64
+	Delays     uint64
+	Drops      uint64 // independent losses
+	BurstDrops uint64 // losses inside a burst (including the first)
+	Crashes    uint64
+	Rejoins    uint64
+	Spent      int // fault events charged against MaxFaults
+}
+
+// Injector implements ring.Injector, driving all randomness from the
+// engine's seeded source. Install with ring.Network.SetInjector and
+// (when Opts.Crashes is non-empty) arm outages with ScheduleCrashes.
+type Injector struct {
+	eng   *sim.Engine
+	opts  Opts
+	burst []int // per-receiver remaining burst drops
+	stats Stats
+
+	// digest folds every injected event — kind, virtual time, endpoints —
+	// through FNV-1a. Two runs injected identical fault schedules iff
+	// their digests match; the replay test asserts exactly that.
+	digest uint64
+}
+
+// NewInjector builds the fault plane for a ring of n stations.
+func NewInjector(eng *sim.Engine, opts Opts, n int) *Injector {
+	if opts.BurstProb > 0 && opts.BurstLen <= 0 {
+		panic("chaos: BurstProb set without a positive BurstLen")
+	}
+	return &Injector{eng: eng, opts: opts, burst: make([]int, n), digest: 14695981039346656037}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// Digest returns the FNV-1a digest of every event injected so far.
+func (inj *Injector) Digest() uint64 { return inj.digest }
+
+// note folds one injected event into the digest.
+func (inj *Injector) note(kind byte, a, b int64) {
+	const prime = 1099511628211
+	h := inj.digest
+	for _, v := range [4]uint64{uint64(kind), uint64(inj.eng.Now()), uint64(a), uint64(b)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	inj.digest = h
+}
+
+// spend charges one fault event against the budget, reporting whether
+// the event may fire.
+func (inj *Injector) spend() bool {
+	if inj.opts.MaxFaults > 0 && inj.stats.Spent >= inj.opts.MaxFaults {
+		return false
+	}
+	inj.stats.Spent++
+	return true
+}
+
+// Deliver decides the fate of one delivery attempt. Randomness
+// consumption is fixed per attempt for a given Opts — every probability
+// and amount is drawn whether or not its fault fires — so changing
+// MaxFaults (the shrinker's knob) cannot shift the random stream under
+// the rest of the simulation.
+func (inj *Injector) Deliver(src, dst ring.NodeID, broadcast bool, size int) ring.Fault {
+	r := inj.eng.Rand()
+	pLoss := r.Float64()
+	pBurst := r.Float64()
+	pDup := r.Float64()
+	pDelay := r.Float64()
+	var delayAmt, dupAmt time.Duration
+	if inj.opts.MaxDelay > 0 {
+		delayAmt = time.Duration(1 + r.Int63n(int64(inj.opts.MaxDelay)))
+	}
+	if inj.opts.DuplicateDelay > 0 {
+		dupAmt = time.Duration(r.Int63n(int64(inj.opts.DuplicateDelay) + 1))
+	}
+
+	var f ring.Fault
+	if inj.burst[dst] > 0 {
+		// Mid-burst: this receiver's interface is still deaf.
+		if inj.spend() {
+			inj.burst[dst]--
+			inj.stats.BurstDrops++
+			inj.note('B', int64(src), int64(dst))
+			f.Drop = true
+		} else {
+			inj.burst[dst] = 0
+		}
+		return f
+	}
+	if inj.opts.BurstProb > 0 && pBurst < inj.opts.BurstProb && inj.spend() {
+		inj.burst[dst] = inj.opts.BurstLen - 1
+		inj.stats.BurstDrops++
+		inj.note('B', int64(src), int64(dst))
+		f.Drop = true
+		return f
+	}
+	if inj.opts.LossProb > 0 && pLoss < inj.opts.LossProb && inj.spend() {
+		inj.stats.Drops++
+		inj.note('L', int64(src), int64(dst))
+		f.Drop = true
+		return f
+	}
+	if inj.opts.DuplicateProb > 0 && pDup < inj.opts.DuplicateProb && inj.spend() {
+		inj.stats.Dups++
+		inj.note('D', int64(src), int64(dst))
+		f.Dup = true
+		if !broadcast {
+			f.DupDelay = dupAmt
+		}
+	}
+	if !broadcast && inj.opts.DelayProb > 0 && pDelay < inj.opts.DelayProb && inj.spend() {
+		inj.stats.Delays++
+		inj.note('J', int64(src), int64(dst))
+		f.Delay = delayAmt
+	}
+	return f
+}
+
+// ScheduleCrashes arms every outage in Opts.Crashes: at Crash.At the
+// node's NIC goes dark and a surviving witness broadcasts a CrashNotice
+// (peers set down hints and fail fast with ErrNodeDown); at
+// At+Downtime the node drops its soft routing state, comes back, and
+// broadcasts a RejoinNotice. eps must be indexed by node ID. Crashes are
+// digest-noted but not charged against MaxFaults — the shrinker drops
+// them explicitly instead.
+func (inj *Injector) ScheduleCrashes(nw *ring.Network, eps []*remop.Endpoint) {
+	for _, c := range inj.opts.Crashes {
+		c := c
+		if int(c.Node) >= len(eps) {
+			panic(fmt.Sprintf("chaos: crash of unknown node %d", c.Node))
+		}
+		if c.Downtime <= 0 {
+			panic(fmt.Sprintf("chaos: crash of node %d with non-positive downtime", c.Node))
+		}
+		inj.eng.Schedule(c.At, func() {
+			nw.SetNodeDown(c.Node, true)
+			inj.stats.Crashes++
+			inj.note('C', int64(c.Node), int64(c.Downtime))
+			// A surviving peer notices the silence and tells the others.
+			// (Witness detection is abstracted to "immediate"; the notice
+			// is advisory, so the shortcut affects only latency.)
+			for _, ep := range eps {
+				if ep.ID() != c.Node {
+					ep.MarkNodeDown(c.Node, true)
+					ep.BroadcastNoReply(&wire.CrashNotice{Node: uint16(c.Node)})
+					break
+				}
+			}
+		})
+		inj.eng.Schedule(c.At+c.Downtime, func() {
+			eps[c.Node].DropSoftState()
+			nw.SetNodeDown(c.Node, false)
+			inj.stats.Rejoins++
+			inj.note('R', int64(c.Node), 0)
+			eps[c.Node].BroadcastNoReply(&wire.RejoinNotice{Node: uint16(c.Node)})
+		})
+	}
+}

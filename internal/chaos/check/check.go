@@ -1,0 +1,338 @@
+// Package check runs randomized multi-writer workloads over the shared
+// virtual memory while the chaos fault plane fires, records every read
+// and write into a per-location history, and verifies sequential
+// consistency. The recording exploits the simulator's determinism: the
+// engine runs one fiber at a time and the accessors touch the byte as
+// the last step before returning, so appending to the history right
+// after each access captures the true linearization order of the
+// memory. In that order the shared memory must behave as an array of
+// atomic registers — every read returns the most recent write to its
+// location (or zero before the first write) — and each worker's writes
+// to a location must appear in issue order. A correct write-invalidate
+// protocol guarantees both under any fault schedule the plane can
+// produce; the broken-invalidation hook (ivy.ChaosOpts.BreakInvalidation)
+// is the planted bug proving the checker catches violations.
+//
+// When a configuration fails, Shrink reduces it to the smallest seed and
+// fault budget that still fail, producing a minimal reproducer.
+package check
+
+import (
+	"fmt"
+	"time"
+
+	ivy "repro"
+)
+
+// Config describes one checker run. Zero fields take defaults.
+type Config struct {
+	Algorithm ivy.Algorithm
+	Seed      int64
+
+	Nodes   int // cluster size (default 4)
+	Workers int // concurrent writers, pinned worker i -> node i%Nodes (default 4)
+	Ops     int // accesses per worker (default 60)
+	Pages   int // shared pages under test (default 6)
+	Slots   int // locations per page (default 4)
+
+	PageSize int           // bytes per page (default 256)
+	Horizon  time.Duration // virtual-time bound (default 1h)
+
+	Chaos *ivy.ChaosOpts // fault plane; nil = healthy ring
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 60
+	}
+	if cfg.Pages == 0 {
+		cfg.Pages = 6
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 4
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 256
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = time.Hour
+	}
+	return cfg
+}
+
+// Event is one recorded shared-memory access, in linearization order.
+type Event struct {
+	Seq    int           // global order (== index in the history)
+	T      time.Duration // virtual time of the access
+	Worker int
+	Loc    int // page*Slots + slot
+	Write  bool
+	Val    uint64 // value written or read
+}
+
+// Result is one run's verdict.
+type Result struct {
+	Violations    []string // sequential-consistency violations found
+	CoherenceErrs []string // protocol-invariant breaks from VerifyCoherence
+	RunErr        error    // horizon/deadlock failure, nil on a clean run
+
+	Elapsed       time.Duration // virtual time the workload took
+	Events        int
+	HistoryDigest uint64 // FNV-1a over every recorded event (incl. times)
+	ChaosDigest   uint64 // fault-schedule digest from the injector
+	ChaosStats    ivy.ChaosStats
+}
+
+// Failing reports whether the run found anything wrong.
+func (r Result) Failing() bool {
+	return len(r.Violations) > 0 || len(r.CoherenceErrs) > 0 || r.RunErr != nil
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("events=%d elapsed=%v violations=%d coherence=%d runErr=%v",
+		r.Events, r.Elapsed, len(r.Violations), len(r.CoherenceErrs), r.RunErr)
+}
+
+// xorshift64 is the workers' private mixing PRNG. Deliberately not the
+// engine's source: workload decisions must not interleave with the
+// fault plane's draws, so a different chaos configuration replays the
+// same access pattern.
+func xorshift64(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// Run executes one checker run: build the cluster, run the workload,
+// check the history.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	cl := ivy.New(ivy.Config{
+		Processors:  cfg.Nodes,
+		PageSize:    cfg.PageSize,
+		SharedPages: cfg.Pages + 64, // workload pages + stacks and eventcount
+		MemoryPages: 0,
+		Algorithm:   cfg.Algorithm,
+		Seed:        cfg.Seed,
+		StackPages:  1,
+		Horizon:     cfg.Horizon,
+		Chaos:       cfg.Chaos,
+	})
+
+	nLocs := cfg.Pages * cfg.Slots
+	var history []Event
+	record := func(worker, loc int, write bool, val uint64, t time.Duration) {
+		history = append(history, Event{
+			Seq: len(history), T: t, Worker: worker, Loc: loc, Write: write, Val: val,
+		})
+	}
+
+	runErr := cl.Run(func(p *ivy.Proc) {
+		base := p.MustMalloc(uint64(cfg.Pages * cfg.PageSize))
+		addrOf := func(loc int) uint64 {
+			page, slot := loc/cfg.Slots, loc%cfg.Slots
+			return base + uint64(page*cfg.PageSize+slot*8)
+		}
+		done := p.NewEventcount(1)
+		for w := 0; w < cfg.Workers; w++ {
+			w := w
+			p.CreateOn(w%cfg.Nodes, func(q *ivy.Proc) {
+				// Mix the seed so workers diverge; |1 keeps xorshift off
+				// its zero fixed point.
+				r := xorshift64(uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(w+1) | 1)
+				for op := 0; op < cfg.Ops; op++ {
+					r = xorshift64(r)
+					loc := int(r % uint64(nLocs))
+					r = xorshift64(r)
+					if r&1 == 0 {
+						// Values encode (worker, op), so a violation report
+						// names the write a bad read exposed, and the
+						// checker can verify per-worker write order from
+						// values alone. Never zero, the pre-first-write
+						// reading.
+						val := uint64(w+1)<<32 | uint64(op+1)
+						q.WriteU64(addrOf(loc), val)
+						record(w, loc, true, val, q.Now())
+					} else {
+						val := q.ReadU64(addrOf(loc))
+						record(w, loc, false, val, q.Now())
+					}
+					// A short compute gap varies the interleaving without
+					// adding traffic.
+					r = xorshift64(r)
+					q.Compute(time.Duration(r % 50_000))
+				}
+				done.Advance(q)
+			}, ivy.WithName(fmt.Sprintf("chaos-worker%d", w)), ivy.NotMigratable())
+		}
+		done.Wait(p, int64(cfg.Workers))
+	})
+
+	res := Result{
+		RunErr:        runErr,
+		Elapsed:       cl.Elapsed(),
+		Events:        len(history),
+		HistoryDigest: digestHistory(history),
+		ChaosDigest:   cl.ChaosDigest(),
+		ChaosStats:    cl.ChaosStats(),
+	}
+	if runErr == nil {
+		for _, err := range cl.VerifyCoherence() {
+			res.CoherenceErrs = append(res.CoherenceErrs, err.Error())
+		}
+	}
+	res.Violations = CheckHistory(history, nLocs)
+	return res
+}
+
+// CheckHistory verifies the recorded linearization order against atomic-
+// register semantics: each read returns the latest write to its location
+// (zero before any write), and each worker's writes to a location carry
+// increasing embedded op numbers. Returns human-readable violations,
+// capped at 16.
+func CheckHistory(history []Event, nLocs int) []string {
+	const maxReports = 16
+	var out []string
+	report := func(format string, args ...any) {
+		if len(out) < maxReports {
+			out = append(out, fmt.Sprintf(format, args...))
+		}
+	}
+	last := make([]Event, nLocs)     // last write per location (Val 0 = none)
+	lastOp := make(map[int64]uint64) // (worker,loc) -> last embedded op number
+	for _, ev := range history {
+		if ev.Loc < 0 || ev.Loc >= nLocs {
+			report("event %d: location %d out of range", ev.Seq, ev.Loc)
+			continue
+		}
+		if ev.Write {
+			if op := ev.Val & 0xffffffff; true {
+				k := int64(ev.Worker)<<32 | int64(ev.Loc)
+				if prev := lastOp[k]; op <= prev {
+					report("event %d at %v: worker %d wrote op %d to loc %d after op %d — program order broken",
+						ev.Seq, ev.T, ev.Worker, op, ev.Loc, prev)
+				}
+				lastOp[k] = op
+			}
+			last[ev.Loc] = ev
+			continue
+		}
+		want := last[ev.Loc].Val
+		if ev.Val != want {
+			lw := last[ev.Loc]
+			if want == 0 {
+				report("event %d at %v: worker %d read %#x from loc %d before any write (want 0)",
+					ev.Seq, ev.T, ev.Worker, ev.Val, ev.Loc)
+			} else {
+				report("event %d at %v: worker %d read %#x from loc %d, but the latest write (event %d at %v by worker %d) put %#x — stale copy",
+					ev.Seq, ev.T, ev.Worker, ev.Val, ev.Loc, lw.Seq, lw.T, lw.Worker, want)
+			}
+		}
+	}
+	return out
+}
+
+// digestHistory folds the full history — values, order, and virtual
+// times — through FNV-1a, so equal digests mean bit-identical recorded
+// executions.
+func digestHistory(history []Event) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		const prime = 1099511628211
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	for _, ev := range history {
+		mix(uint64(ev.T))
+		mix(uint64(ev.Worker)<<32 | uint64(ev.Loc))
+		if ev.Write {
+			mix(1)
+		} else {
+			mix(0)
+		}
+		mix(ev.Val)
+	}
+	return h
+}
+
+// Shrink reduces a failing configuration to a minimal reproducer: the
+// smallest seed in [1,8] that still fails, then without its crash
+// schedule if the crashes are not needed, then the smallest fault budget
+// (binary search on MaxFaults; budget 0 clears the fault probabilities
+// entirely) that still fails. The returned config is guaranteed failing;
+// Shrink panics if cfg itself does not fail (nothing to shrink).
+func Shrink(cfg Config) (Config, Result) {
+	cfg = cfg.withDefaults()
+	res := Run(cfg)
+	if !res.Failing() {
+		panic("check: Shrink of a passing configuration")
+	}
+
+	// Smallest failing seed.
+	for s := int64(1); s <= 8 && s < cfg.Seed; s++ {
+		c := cfg
+		c.Seed = s
+		if r := Run(c); r.Failing() {
+			cfg, res = c, r
+			break
+		}
+	}
+
+	if cfg.Chaos == nil {
+		return cfg, res
+	}
+
+	// Drop the crash schedule if the failure survives without it.
+	if len(cfg.Chaos.Crashes) > 0 {
+		c := cfg
+		ch := *cfg.Chaos
+		ch.Crashes = nil
+		c.Chaos = &ch
+		if r := Run(c); r.Failing() {
+			cfg, res = c, r
+		}
+	}
+
+	// Binary-search the smallest failing fault budget. The injector's
+	// random-draw consumption is budget-independent, so budget b replays
+	// the first b faults of the full schedule exactly.
+	if withBudget := func(b int) Config {
+		c := cfg
+		ch := *cfg.Chaos
+		if b == 0 {
+			ch.DuplicateProbability = 0
+			ch.DelayProbability = 0
+			ch.LossProbability = 0
+			ch.BurstProbability = 0
+			ch.MaxFaults = 0
+		} else {
+			ch.MaxFaults = b
+		}
+		c.Chaos = &ch
+		return c
+	}; true {
+		lo, hi := 0, res.ChaosStats.Spent // lo..hi: hi known failing
+		best, bestRes := cfg, res
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			c := withBudget(mid)
+			if r := Run(c); r.Failing() {
+				hi = mid
+				best, bestRes = c, r
+			} else {
+				lo = mid + 1
+			}
+		}
+		cfg, res = best, bestRes
+	}
+	return cfg, res
+}

@@ -1,0 +1,186 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	ivy "repro"
+)
+
+// chaosOpts is the standard hostile schedule: duplication, bounded
+// reordering via delay jitter, independent and burst loss, and one
+// crash/restart of node 2 (never node 0, which hosts the central
+// manager and allocator in the default wiring — crashing the allocator
+// mid-setup is a different experiment).
+func chaosOpts(crash bool) *ivy.ChaosOpts {
+	co := &ivy.ChaosOpts{
+		DuplicateProbability: 0.05,
+		DuplicateDelay:       2 * time.Millisecond,
+		DelayProbability:     0.05,
+		MaxDelay:             2 * time.Millisecond,
+		LossProbability:      0.05,
+		BurstProbability:     0.01,
+		BurstLength:          4,
+	}
+	if crash {
+		co.Crashes = []ivy.NodeCrash{{Node: 2, At: 400 * time.Millisecond, Downtime: 900 * time.Millisecond}}
+	}
+	return co
+}
+
+var algorithms = []struct {
+	name string
+	alg  ivy.Algorithm
+}{
+	{"DynamicDistributed", ivy.DynamicDistributed},
+	{"ImprovedCentralized", ivy.ImprovedCentralized},
+	{"FixedDistributed", ivy.FixedDistributed},
+	{"BroadcastManager", ivy.BroadcastManager},
+	{"BasicCentralized", ivy.BasicCentralized},
+}
+
+// TestSequentialConsistencyUnderChaos is the headline acceptance run:
+// every manager algorithm, three seeds each, under duplication +
+// reordering + loss + burst loss + one crash/restart — and the memory
+// must still be sequentially consistent.
+func TestSequentialConsistencyUnderChaos(t *testing.T) {
+	for _, tc := range algorithms {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				res := Run(Config{Algorithm: tc.alg, Seed: seed, Chaos: chaosOpts(true)})
+				if res.RunErr != nil {
+					t.Fatalf("seed %d: run failed: %v", seed, res.RunErr)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("seed %d: SC violation: %s", seed, v)
+				}
+				for _, e := range res.CoherenceErrs {
+					t.Errorf("seed %d: coherence: %s", seed, e)
+				}
+				cs := res.ChaosStats
+				if cs.Crashes != 1 || cs.Rejoins != 1 {
+					t.Errorf("seed %d: crash schedule did not land: %+v", seed, cs)
+				}
+				if cs.Drops+cs.BurstDrops == 0 || cs.Dups == 0 || cs.Delays == 0 {
+					t.Errorf("seed %d: fault plane too quiet to mean anything: %+v", seed, cs)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosReplayBitIdentical asserts determinism under faults: the same
+// seed must reproduce the exact fault schedule (chaos digest), the exact
+// recorded execution including virtual timestamps (history digest), and
+// the exact elapsed virtual time.
+func TestChaosReplayBitIdentical(t *testing.T) {
+	cfg := Config{Algorithm: ivy.DynamicDistributed, Seed: 7, Chaos: chaosOpts(true)}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.RunErr != nil || b.RunErr != nil {
+		t.Fatalf("runs failed: %v / %v", a.RunErr, b.RunErr)
+	}
+	if a.ChaosDigest != b.ChaosDigest {
+		t.Errorf("fault schedules diverged: %#x vs %#x", a.ChaosDigest, b.ChaosDigest)
+	}
+	if a.HistoryDigest != b.HistoryDigest {
+		t.Errorf("recorded executions diverged: %#x vs %#x", a.HistoryDigest, b.HistoryDigest)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("virtual times diverged: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	if a.Events != b.Events || a.Events == 0 {
+		t.Errorf("event counts diverged or empty: %d vs %d", a.Events, b.Events)
+	}
+	if a.ChaosDigest == 0 {
+		t.Error("chaos digest is zero — fault plane not armed?")
+	}
+}
+
+// TestBrokenInvalidationCaughtAndShrunk plants the bug: invalidations
+// are acknowledged but never applied, so stale copies survive. The
+// checker must catch the resulting stale reads, and Shrink must reduce
+// the reproducer to a configuration whose failure no longer depends on
+// the fault schedule at all.
+func TestBrokenInvalidationCaughtAndShrunk(t *testing.T) {
+	co := chaosOpts(true)
+	co.BreakInvalidation = true
+	cfg := Config{Algorithm: ivy.DynamicDistributed, Seed: 5, Chaos: co}
+	res := Run(cfg)
+	if !res.Failing() {
+		t.Fatalf("broken invalidation not caught: %v", res)
+	}
+	staleSeen := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "stale copy") {
+			staleSeen = true
+			break
+		}
+	}
+	if !staleSeen && len(res.Violations) > 0 {
+		t.Logf("violations found but none tagged stale: %q", res.Violations[0])
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("expected SC violations, got only: %v", res)
+	}
+
+	shrunk, sres := Shrink(cfg)
+	if !sres.Failing() {
+		t.Fatalf("shrunk configuration does not fail: %v", sres)
+	}
+	if shrunk.Seed > cfg.Seed {
+		t.Errorf("shrink increased the seed: %d -> %d", cfg.Seed, shrunk.Seed)
+	}
+	// The planted bug fails without any injected faults, so the shrinker
+	// must discover the fault schedule is irrelevant: crashes dropped and
+	// the fault budget reduced to nothing.
+	if len(shrunk.Chaos.Crashes) != 0 {
+		t.Errorf("shrink kept an unnecessary crash schedule: %+v", shrunk.Chaos.Crashes)
+	}
+	if sres.ChaosStats.Spent != 0 {
+		t.Errorf("shrunk run still injected %d faults", sres.ChaosStats.Spent)
+	}
+	t.Logf("shrunk: seed=%d budget=%d crashes=%d -> %v",
+		shrunk.Seed, shrunk.Chaos.MaxFaults, len(shrunk.Chaos.Crashes), sres)
+}
+
+// TestHealthyRunClean sanity-checks the harness itself: with no fault
+// plane the workload must pass and inject nothing.
+func TestHealthyRunClean(t *testing.T) {
+	res := Run(Config{Algorithm: ivy.FixedDistributed, Seed: 1})
+	if res.Failing() {
+		t.Fatalf("healthy run failed: %v; first violation: %v", res, append(res.Violations, "")[0])
+	}
+	if res.ChaosDigest != 0 {
+		t.Errorf("healthy run has a chaos digest: %#x", res.ChaosDigest)
+	}
+}
+
+// TestCheckHistoryLitmus exercises the checker's own logic on
+// hand-written histories — the checker is test infrastructure, so it
+// gets its own unit tests.
+func TestCheckHistoryLitmus(t *testing.T) {
+	w := func(seq, worker, loc int, val uint64) Event {
+		return Event{Seq: seq, Worker: worker, Loc: loc, Write: true, Val: val}
+	}
+	r := func(seq, worker, loc int, val uint64) Event {
+		return Event{Seq: seq, Worker: worker, Loc: loc, Write: false, Val: val}
+	}
+	v1 := uint64(1)<<32 | 1
+	v2 := uint64(1)<<32 | 2
+	if got := CheckHistory([]Event{w(0, 0, 0, v1), r(1, 1, 0, v1), w(2, 0, 0, v2), r(3, 1, 0, v2)}, 4); len(got) != 0 {
+		t.Errorf("clean history flagged: %q", got)
+	}
+	if got := CheckHistory([]Event{w(0, 0, 0, v1), w(1, 0, 0, v2), r(2, 1, 0, v1)}, 4); len(got) == 0 {
+		t.Error("stale read not flagged")
+	}
+	if got := CheckHistory([]Event{r(0, 1, 2, 99)}, 4); len(got) == 0 {
+		t.Error("read-before-write of nonzero value not flagged")
+	}
+	if got := CheckHistory([]Event{w(0, 0, 0, v2), w(1, 0, 0, v1)}, 4); len(got) == 0 {
+		t.Error("program-order inversion not flagged")
+	}
+}

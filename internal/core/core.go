@@ -139,6 +139,26 @@ func chargeCPU(f *sim.Fiber, cpu *sim.Resource, d time.Duration) {
 	cpu.Release()
 }
 
+// Fault-retry backoff: when a remote operation inside a fault fails
+// (retransmissions exhausted, or a fast ErrNodeDown), the fault restarts
+// after an exponentially growing pause instead of immediately re-driving
+// the protocol — under a crashed peer an immediate retry would just
+// re-queue the same doomed request. The pause holds no lock beyond the
+// page's fault lock the caller already owns, and no CPU.
+const (
+	faultRetryBase = 100 * time.Millisecond
+	faultRetryCap  = 2 * time.Second
+)
+
+// retryPause sleeps the fiber for the attempt-th fault-retry backoff.
+func retryPause(f *sim.Fiber, attempt int) {
+	d := faultRetryBase << uint(min(attempt, 10))
+	if d > faultRetryCap {
+		d = faultRetryCap
+	}
+	f.Sleep(d)
+}
+
 // Config assembles one node's SVM.
 type Config struct {
 	Node         ring.NodeID
@@ -205,6 +225,12 @@ type SVM struct {
 	lat        stats.Latency
 	tracer     *traceCfg
 	trc        *trace.Collector
+
+	// invalDrop is a chaos-test-only hook: when set and it returns true,
+	// handleInvalidate acks WITHOUT invalidating the local copy — a
+	// deliberately broken protocol the sequential-consistency checker
+	// must catch. Never set outside tests.
+	invalDrop func(mmu.PageID) bool
 }
 
 // New builds and wires a node's SVM, installing its request handlers on
@@ -394,6 +420,10 @@ func (s *SVM) install(f *sim.Fiber, p mmu.PageID, data []byte) {
 // canEvict pins pages whose fault lock is held: a frame mid-transfer
 // must not be reclaimed under the protocol.
 func (s *SVM) canEvict(p mmu.PageID) bool { return !s.table.Locked(p) }
+
+// SetInvalDropHook installs the chaos-test-only broken-invalidation
+// hook; see the invalDrop field. Passing nil restores correct behavior.
+func (s *SVM) SetInvalDropHook(fn func(mmu.PageID) bool) { s.invalDrop = fn }
 
 // Costs returns the node's cost model.
 func (s *SVM) Costs() model.Costs { return s.costs }

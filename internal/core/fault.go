@@ -695,12 +695,17 @@ func (s *SVM) readFault(ctx Ctx, p mmu.PageID) {
 	span, prevTrc := s.beginFault(f, trace.PhaseReadFault, p)
 	chargeCPU(f, s.cpu, s.costs.FaultTrap)
 	e := s.table.Entry(p)
-	for {
+	for attempt := 0; ; attempt++ {
 		loc, locPrev := s.beginPhase(f, trace.PhaseLocate, p, "")
 		reply, err := s.mgr.locateRead(ctx, p)
 		s.endPhase(f, loc, locPrev)
 		if err != nil {
-			continue // request exhausted retransmissions; start over
+			// Retransmissions exhausted or destination down: back off,
+			// then start the fault over (the owner may have moved, or the
+			// crashed node may be back).
+			s.st.SVM.FaultErrors++
+			retryPause(f, attempt)
+			continue
 		}
 		chargeCPU(f, s.cpu, s.costs.PageCopy)
 		if e.InvalWhileFaulting {
@@ -738,11 +743,13 @@ func (s *SVM) writeFault(ctx Ctx, p mmu.PageID) {
 	span, prevTrc := s.beginFault(f, trace.PhaseWriteFault, p)
 	chargeCPU(f, s.cpu, s.costs.FaultTrap)
 	e := s.table.Entry(p)
-	for {
+	for attempt := 0; ; attempt++ {
 		loc, locPrev := s.beginPhase(f, trace.PhaseLocate, p, "")
 		reply, err := s.mgr.locateWrite(ctx, p)
 		s.endPhase(f, loc, locPrev)
 		if err != nil {
+			s.st.SVM.FaultErrors++
+			retryPause(f, attempt)
 			continue
 		}
 		chargeCPU(f, s.cpu, s.costs.PageCopy)
@@ -789,16 +796,20 @@ func (s *SVM) invalidate(f *sim.Fiber, p mmu.PageID, cs mmu.Copyset) {
 	req := &wire.InvalidateReq{Page: uint32(p), NewOwner: uint16(s.node)}
 	if s.bcastInval {
 		// Broadcast with replies-from-all: non-holders ack trivially.
-		for {
+		for attempt := 0; ; attempt++ {
 			if _, err := s.ep.BroadcastAll(f, req); err == nil {
 				break
 			}
+			s.st.SVM.FaultErrors++
+			retryPause(f, attempt)
 		}
 	} else {
-		for {
+		for attempt := 0; ; attempt++ {
 			if _, err := s.ep.CallMany(f, members, req); err == nil {
 				break
 			}
+			s.st.SVM.FaultErrors++
+			retryPause(f, attempt)
 		}
 	}
 	s.endPhase(f, span, prevTrc)
@@ -925,6 +936,12 @@ func (s *SVM) handleInvalidate(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 	}
 	e := s.table.Entry(p)
 	s.st.SVM.InvalReceived++
+	if s.invalDrop != nil && s.invalDrop(p) {
+		// Chaos-test hook: acknowledge WITHOUT revoking the copy. This
+		// breaks the single-writer invariant on purpose so the
+		// sequential-consistency checker can prove it would notice.
+		return &wire.InvalidateAck{Page: m.Page}
+	}
 	if e.IsOwner {
 		// Only a stale duplicate from a previous ownership epoch can
 		// address the current owner; acknowledge without acting.

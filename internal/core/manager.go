@@ -545,10 +545,12 @@ func (m *basicMgr) managerInvalidate(f *sim.Fiber, p mmu.PageID, keep ring.NodeI
 		req := &wire.InvalidateReq{Page: uint32(p), NewOwner: uint16(keep)}
 		var buf [wire.MaxNodes]ring.NodeID
 		members := cs.AppendTo(buf[:0])
-		for {
+		for attempt := 0; ; attempt++ {
 			if _, err := s.ep.CallMany(f, members, req); err == nil {
 				break
 			}
+			s.st.SVM.FaultErrors++
+			retryPause(f, attempt)
 		}
 	}
 	m.copysets[p] = 0
@@ -669,9 +671,11 @@ func (m *basicMgr) upgrade(ctx Ctx, p mmu.PageID) {
 		// can always proceed.
 		m.managerInvalidate(f, p, s.node)
 		owner := m.dir.Owner(p)
-		for {
+		for attempt := 0; ; attempt++ {
 			r, err := s.ep.Call(f, owner, &wire.WriteFaultReq{Page: uint32(p)})
 			if err != nil {
+				s.st.SVM.FaultErrors++
+				retryPause(f, attempt)
 				continue
 			}
 			reply := r.(*wire.PageWriteReply)
@@ -692,9 +696,11 @@ func (m *basicMgr) upgrade(ctx Ctx, p mmu.PageID) {
 	}
 	s.table.Unlock(p)
 	var reply *wire.PageWriteReply
-	for {
+	for attempt := 0; ; attempt++ {
 		r, err := s.ep.Call(f, m.central, &wire.WriteFaultReq{Page: uint32(p)})
 		if err != nil {
+			s.st.SVM.FaultErrors++
+			retryPause(f, attempt)
 			continue
 		}
 		reply = r.(*wire.PageWriteReply)

@@ -90,7 +90,10 @@ func (n *Node) collectOnce(f *sim.Fiber) {
 		if sl == nil || sl.state != Migrated {
 			continue // already collected or superseded
 		}
-		reply, err := n.ep.Call(f, sl.forward.Node, &wire.PCBProbe{Handle: handle})
+		// Fail-fast: a probe is idempotent and the queue retries later, so
+		// a crashed forwarding target should not pin the null process for
+		// the whole outage.
+		reply, err := n.ep.CallFailFast(f, sl.forward.Node, &wire.PCBProbe{Handle: handle})
 		if err != nil {
 			n.fwdQueue = append(n.fwdQueue, handle)
 			return

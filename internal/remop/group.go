@@ -47,12 +47,22 @@ func (ep *Endpoint) CallMany(f *sim.Fiber, dsts []ring.NodeID, req wire.Msg) ([]
 	}
 	f.Park(fmt.Sprintf("call-many %v -> %d nodes", req.Kind(), len(dsts)))
 	out := make([]wire.Msg, len(dsts))
+	var err error
 	for i, p := range ps {
 		delete(ep.out, p.reqID)
 		if len(p.replies) == 0 {
-			return nil, ErrCallFailed
+			// Every member must be unregistered before returning, so keep
+			// draining; ErrNodeDown (if any member saw it) outranks the
+			// generic failure.
+			if err == nil || p.nodeDown {
+				err = p.failErr()
+			}
+			continue
 		}
 		out[i] = p.replies[0].Body
+	}
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -91,7 +101,7 @@ func (ep *Endpoint) CallRedirect(f *sim.Fiber, dst ring.NodeID, req wire.Msg, st
 		}
 		if p.failed {
 			delete(ep.out, p.reqID)
-			return nil, ErrCallFailed
+			return nil, p.failErr()
 		}
 		// Stuck: relocate. The pending stays registered so a late reply
 		// still lands; re-check after the (blocking) location step.

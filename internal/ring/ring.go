@@ -44,13 +44,45 @@ type Packet struct {
 // block; long work should be handed to a fiber.
 type Handler func(*Packet)
 
-// Stats aggregates traffic counters for the whole ring.
+// Fault is an Injector's per-attempt decision. Drop loses this delivery
+// attempt; Delay postpones it by the given jitter; Dup schedules a second
+// copy of the frame DupDelay after the transmission ends. Drop and Delay
+// apply to the primary copy only — a duplicate, once scheduled, is
+// delivered unless the receiver is down (or legacy loss takes it).
+type Fault struct {
+	Drop     bool
+	Delay    time.Duration
+	Dup      bool
+	DupDelay time.Duration
+}
+
+// Injector decides the fate of each per-receiver delivery attempt. It is
+// consulted once per receiver per transmission, in engine context, and
+// must draw any randomness from the engine's seeded source so fault
+// schedules replay bit-for-bit. broadcast reports whether the frame is a
+// broadcast: implementations must not delay broadcast copies (a token-
+// ring broadcast reaches every station in one rotation, and the
+// coherence gates rely on that atomicity).
+type Injector interface {
+	Deliver(src, dst NodeID, broadcast bool, size int) Fault
+}
+
+// Stats aggregates traffic counters for the whole ring. The per-receiver
+// accounting is exact: Attempts = Delivered + Dropped always, where
+// Attempts counts every delivery attempt (the per-receiver fan-out of
+// each transmission plus every injected duplicate) and DownDrops is the
+// subset of Dropped addressed to crashed stations.
 type Stats struct {
-	Packets   uint64 // transmissions (a broadcast counts once)
-	Bytes     uint64 // payload bytes transmitted
-	Delivered uint64 // successful per-receiver deliveries
-	Dropped   uint64 // per-receiver losses injected
-	WireBusy  time.Duration
+	Packets      uint64 // transmissions (a broadcast counts once)
+	Bytes        uint64 // payload bytes transmitted
+	Attempts     uint64 // per-receiver delivery attempts (incl. duplicates)
+	Delivered    uint64 // successful per-receiver deliveries
+	Dropped      uint64 // per-receiver losses (injected, burst, or down)
+	DownDrops    uint64 // subset of Dropped: receiver was down
+	Duplicated   uint64 // extra copies scheduled by the injector
+	Delayed      uint64 // deliveries postponed by injected jitter
+	TxSuppressed uint64 // transmissions swallowed because the sender is down
+	WireBusy     time.Duration
 }
 
 // Network is the simulated token ring.
@@ -59,6 +91,12 @@ type Network struct {
 	costs    model.Costs
 	handlers []Handler
 	lossProb float64
+
+	// inj, when non-nil, is consulted for every delivery attempt; down
+	// marks crashed stations (frames to and from them vanish). Both nil
+	// by default, costing nothing.
+	inj  Injector
+	down []bool
 
 	// busyUntil serializes the shared medium: a transmission begins when
 	// the wire frees up and the sender's packet reaches the token.
@@ -96,6 +134,25 @@ func (nw *Network) SetLossProbability(p float64) {
 	nw.lossProb = p
 }
 
+// SetInjector installs (or, with nil, removes) a fault injector. With no
+// injector the delivery path is unchanged and consumes no randomness.
+func (nw *Network) SetInjector(inj Injector) { nw.inj = inj }
+
+// SetNodeDown marks station id as crashed (down=true) or recovered. A down
+// station's NIC is dead both ways: its transmissions are swallowed before
+// they reach the wire and frames addressed to it are dropped on delivery.
+func (nw *Network) SetNodeDown(id NodeID, isDown bool) {
+	if nw.down == nil {
+		nw.down = make([]bool, len(nw.handlers))
+	}
+	nw.down[id] = isDown
+}
+
+// nodeDown reports whether station id is currently crashed.
+func (nw *Network) nodeDown(id NodeID) bool {
+	return nw.down != nil && nw.down[id]
+}
+
 // Stats returns a snapshot of the traffic counters.
 func (nw *Network) Stats() Stats { return nw.stats }
 
@@ -123,6 +180,14 @@ func (nw *Network) Send(pkt *Packet) {
 	// remote-operation layer produces such frames when a forwarding chain
 	// chases a migrated process back to the node that originated the
 	// request — the final hop then replies to itself over the wire.
+
+	// A crashed sender's frames never reach the wire: no wire time is
+	// reserved and no receiver sees anything. This models the NIC going
+	// dark, not a half-transmitted frame.
+	if nw.nodeDown(pkt.Src) {
+		nw.stats.TxSuppressed++
+		return
+	}
 
 	wire := nw.costs.PacketTime(len(pkt.Payload))
 	start := nw.eng.Now()
@@ -166,7 +231,51 @@ func (nw *Network) deliver(pkt *Packet) {
 	}
 }
 
+// deliverTo is one per-receiver delivery attempt. The injector (if any) is
+// consulted exactly once per attempt; a duplicate it requests becomes a
+// fresh attempt through finishDeliver, so Attempts = Delivered + Dropped
+// stays exact even when copies multiply. Broadcast frames are never
+// delayed — each station's copy lands in the same engine step as the
+// transmission end, preserving the one-rotation atomicity the coherence
+// delivery gates depend on (injectors are told broadcast and must return
+// zero delays; this is also enforced here).
 func (nw *Network) deliverTo(id NodeID, pkt *Packet) {
+	if nw.inj != nil {
+		f := nw.inj.Deliver(pkt.Src, id, pkt.Dst == Broadcast, len(pkt.Payload))
+		if pkt.Dst == Broadcast {
+			f.Delay, f.DupDelay = 0, 0
+		}
+		if f.Dup {
+			nw.stats.Duplicated++
+			if f.DupDelay > 0 {
+				nw.eng.Schedule(f.DupDelay, func() { nw.finishDeliver(id, pkt) })
+			} else {
+				nw.finishDeliver(id, pkt)
+			}
+		}
+		switch {
+		case f.Drop:
+			nw.stats.Attempts++
+			nw.stats.Dropped++
+			return
+		case f.Delay > 0:
+			nw.stats.Delayed++
+			nw.eng.Schedule(f.Delay, func() { nw.finishDeliver(id, pkt) })
+			return
+		}
+	}
+	nw.finishDeliver(id, pkt)
+}
+
+// finishDeliver lands one delivery attempt at its receiver: down-station
+// drop, then legacy independent loss, then the handler.
+func (nw *Network) finishDeliver(id NodeID, pkt *Packet) {
+	nw.stats.Attempts++
+	if nw.nodeDown(id) {
+		nw.stats.DownDrops++
+		nw.stats.Dropped++
+		return
+	}
 	if nw.lossProb > 0 && nw.eng.Rand().Float64() < nw.lossProb {
 		nw.stats.Dropped++
 		return

@@ -38,6 +38,11 @@ type SVM struct {
 	// fault requests stuck on stale probOwner chains.
 	OwnerQueries uint64
 
+	// FaultErrors counts remote-operation failures inside fault service
+	// (retransmissions exhausted or a down destination) that were
+	// absorbed by the fault-retry backoff. Zero on a healthy ring.
+	FaultErrors uint64
+
 	// Page traffic.
 	PagesSent     uint64
 	PagesReceived uint64
@@ -87,6 +92,7 @@ func (n Node) Sub(o Node) Node {
 			DiskFaults:    n.SVM.DiskFaults - o.SVM.DiskFaults,
 			FaultRetries:  n.SVM.FaultRetries - o.SVM.FaultRetries,
 			OwnerQueries:  n.SVM.OwnerQueries - o.SVM.OwnerQueries,
+			FaultErrors:   n.SVM.FaultErrors - o.SVM.FaultErrors,
 			PagesSent:     n.SVM.PagesSent - o.SVM.PagesSent,
 			PagesReceived: n.SVM.PagesReceived - o.SVM.PagesReceived,
 			InvalSent:     n.SVM.InvalSent - o.SVM.InvalSent,
@@ -197,6 +203,7 @@ func (c Cluster) Total() Node {
 		t.SVM.DiskFaults += n.SVM.DiskFaults
 		t.SVM.FaultRetries += n.SVM.FaultRetries
 		t.SVM.OwnerQueries += n.SVM.OwnerQueries
+		t.SVM.FaultErrors += n.SVM.FaultErrors
 		t.SVM.PagesSent += n.SVM.PagesSent
 		t.SVM.PagesReceived += n.SVM.PagesReceived
 		t.SVM.InvalSent += n.SVM.InvalSent

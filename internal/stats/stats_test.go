@@ -13,7 +13,8 @@ func sampleNode(k uint64) Node {
 			ReadAccesses: 10 * k, WriteAccesses: 9 * k,
 			ReadFaults: 8 * k, WriteFaults: 7 * k,
 			LocalUpgrades: 6 * k, DiskFaults: 5 * k,
-			FaultRetries: k, OwnerQueries: k, PagesSent: 4 * k, PagesReceived: 4 * k,
+			FaultRetries: k, OwnerQueries: k, FaultErrors: k,
+			PagesSent: 4 * k, PagesReceived: 4 * k,
 			InvalSent: 3 * k, InvalReceived: 3 * k, StaleInvals: k,
 			FaultStall: time.Duration(k) * time.Second,
 		},

@@ -370,6 +370,38 @@ func (m *OwnerQuery) Decode(r *Reader) error {
 	return nil
 }
 
+// --- Fault plane (internal/chaos) -------------------------------------
+
+// CrashNotice is broadcast (reply-none) by a surviving station when the
+// fault plane crashes node Node, letting peers set a down hint and fail
+// pending point-to-point calls to it fast instead of retransmitting into
+// the void. Purely advisory: hints expire on a TTL and any frame from the
+// node clears them, so a lost notice costs only latency.
+type CrashNotice struct {
+	Node uint16
+}
+
+func (*CrashNotice) Kind() Kind         { return KindCrashNotice }
+func (m *CrashNotice) Encode(b *Buffer) { b.PutU16(m.Node) }
+func (m *CrashNotice) Decode(r *Reader) error {
+	m.Node = r.U16()
+	return nil
+}
+
+// RejoinNotice is broadcast (reply-none) by a node returning from a
+// crash, clearing peers' down hints so traffic resumes immediately
+// instead of waiting out the hint TTL.
+type RejoinNotice struct {
+	Node uint16
+}
+
+func (*RejoinNotice) Kind() Kind         { return KindRejoinNotice }
+func (m *RejoinNotice) Encode(b *Buffer) { b.PutU16(m.Node) }
+func (m *RejoinNotice) Decode(r *Reader) error {
+	m.Node = r.U16()
+	return nil
+}
+
 func init() {
 	Register(KindReadFaultReq, func() Msg { return new(ReadFaultReq) })
 	Register(KindWriteFaultReq, func() Msg { return new(WriteFaultReq) })
@@ -392,4 +424,6 @@ func init() {
 	Register(KindPing, func() Msg { return new(Ping) })
 	Register(KindPCBProbe, func() Msg { return new(PCBProbe) })
 	Register(KindOwnerQuery, func() Msg { return new(OwnerQuery) })
+	Register(KindCrashNotice, func() Msg { return new(CrashNotice) })
+	Register(KindRejoinNotice, func() Msg { return new(RejoinNotice) })
 }

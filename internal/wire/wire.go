@@ -64,6 +64,12 @@ const (
 	// always locate owners).
 	KindOwnerQuery
 
+	// Fault plane (internal/chaos). Crash/rejoin notices are best-effort
+	// broadcast hints: losing one only costs latency (the down-hint TTL
+	// and retransmission recover), never correctness.
+	KindCrashNotice  // a station observed node N crash
+	KindRejoinNotice // node N announces it is back on the ring
+
 	kindMax
 )
 
@@ -89,6 +95,8 @@ var kindNames = map[Kind]string{
 	KindPing:           "Ping",
 	KindPCBProbe:       "PCBProbe",
 	KindOwnerQuery:     "OwnerQuery",
+	KindCrashNotice:    "CrashNotice",
+	KindRejoinNotice:   "RejoinNotice",
 }
 
 func (k Kind) String() string {

@@ -22,8 +22,8 @@ type tlbTraceResult struct {
 // runTLBTrace executes a randomized shared-memory trace — scalar and
 // bulk reads/writes, word copies, test-and-set, and a migrating worker —
 // on a memory-constrained cluster (so evictions happen) and returns the
-// simulated outcome.
-func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool) tlbTraceResult {
+// simulated outcome. A non-nil chaos arms the fault plane for the run.
+func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool, chaos *ChaosOpts) tlbTraceResult {
 	t.Helper()
 	const (
 		workers = 4
@@ -38,6 +38,7 @@ func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool) tlbTr
 		Algorithm:   alg,
 		Seed:        seed,
 		DisableTLB:  disableTLB,
+		Chaos:       chaos,
 	})
 	// sums[w] is worker w's running checksum of every value it read;
 	// sums[workers] is the hopper's, sums[workers+1] a final sweep of
@@ -143,25 +144,26 @@ func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool) tlbTr
 	return tlbTraceResult{elapsed: c.Elapsed(), stats: c.Snapshot(), sums: sums}
 }
 
+var tlbAlgs = map[string]Algorithm{
+	"DynamicDistributed":  DynamicDistributed,
+	"ImprovedCentralized": ImprovedCentralized,
+	"FixedDistributed":    FixedDistributed,
+	"BroadcastManager":    BroadcastManager,
+	"BasicCentralized":    BasicCentralized,
+}
+
 // TestTLBDeterminism is the shootdown property test: the same randomized
 // trace must produce bit-identical virtual time, fault counts, message
 // counts, and every other simulated statistic with the software TLB on
 // and off, across every manager algorithm. A stale TLB entry surviving
 // any coherence transition would skip a fault and diverge here.
 func TestTLBDeterminism(t *testing.T) {
-	algs := map[string]Algorithm{
-		"DynamicDistributed":  DynamicDistributed,
-		"ImprovedCentralized": ImprovedCentralized,
-		"FixedDistributed":    FixedDistributed,
-		"BroadcastManager":    BroadcastManager,
-		"BasicCentralized":    BasicCentralized,
-	}
-	for name, alg := range algs {
+	for name, alg := range tlbAlgs {
 		alg := alg
 		t.Run(name, func(t *testing.T) {
 			for seed := int64(1); seed <= 3; seed++ {
-				on := runTLBTrace(t, alg, seed, false)
-				off := runTLBTrace(t, alg, seed, true)
+				on := runTLBTrace(t, alg, seed, false, nil)
+				off := runTLBTrace(t, alg, seed, true, nil)
 				if on.elapsed != off.elapsed {
 					t.Errorf("seed %d: virtual time diverges: TLB on %v, off %v",
 						seed, on.elapsed, off.elapsed)
@@ -172,6 +174,47 @@ func TestTLBDeterminism(t *testing.T) {
 				}
 				if !reflect.DeepEqual(on.sums, off.sums) {
 					t.Errorf("seed %d: read-data checksums diverge with TLB on vs off (stale TLB data):\non:  %v\noff: %v",
+						seed, on.sums, off.sums)
+				}
+			}
+		})
+	}
+}
+
+// TestTLBDeterminismUnderChaos repeats the shootdown property with the
+// fault plane armed: duplicated, delayed, and lost frames force
+// retransmissions, forwarded retries, and repeated invalidations — paths
+// a clean run never takes. Because fault draws come from the same engine
+// PRNG and the TLB is invisible to the network, the whole simulated
+// outcome (virtual time, statistics, and every byte read) must still be
+// bit-identical with the TLB on and off. A TLB entry surviving a
+// duplicated or retransmitted invalidation would diverge only here.
+func TestTLBDeterminismUnderChaos(t *testing.T) {
+	chaos := &ChaosOpts{
+		DuplicateProbability: 0.04,
+		DuplicateDelay:       2 * time.Millisecond,
+		DelayProbability:     0.04,
+		MaxDelay:             2 * time.Millisecond,
+		LossProbability:      0.04,
+		BurstProbability:     0.005,
+		BurstLength:          3,
+	}
+	for name, alg := range tlbAlgs {
+		alg := alg
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 2; seed++ {
+				on := runTLBTrace(t, alg, seed, false, chaos)
+				off := runTLBTrace(t, alg, seed, true, chaos)
+				if on.elapsed != off.elapsed {
+					t.Errorf("seed %d: virtual time diverges under chaos: TLB on %v, off %v",
+						seed, on.elapsed, off.elapsed)
+				}
+				if !reflect.DeepEqual(on.stats, off.stats) {
+					t.Errorf("seed %d: cluster statistics diverge under chaos with TLB on vs off:\non:  %+v\noff: %+v",
+						seed, on.stats.Total().SVM, off.stats.Total().SVM)
+				}
+				if !reflect.DeepEqual(on.sums, off.sums) {
+					t.Errorf("seed %d: read-data checksums diverge under chaos (stale TLB data):\non:  %v\noff: %v",
 						seed, on.sums, off.sums)
 				}
 			}
