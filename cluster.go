@@ -9,6 +9,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/drace"
 	"repro/internal/mmu"
 	"repro/internal/proc"
 	"repro/internal/remop"
@@ -32,6 +33,7 @@ type Cluster struct {
 	allocs  []*alloc.Service
 	procs   *proc.Cluster
 	inj     *chaos.Injector // nil unless Config.Chaos was set
+	rd      *drace.Detector // nil unless Config.DRace was set
 	elapsed sim.Time
 	ran     bool
 
@@ -47,6 +49,13 @@ func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	if cfg.Processors < 1 || cfg.Processors > 64 {
 		panic(fmt.Sprintf("ivy: %d processors out of range [1,64]", cfg.Processors))
+	}
+	if cfg.DRace {
+		// The detector hooks live on the checked access tails; the TLB
+		// fast paths are kept call-free (//ivy:hotpath), so arming the
+		// detector routes every access through a hooked tail. Virtual time
+		// is identical either way (see Config.DisableTLB).
+		cfg.DisableTLB = true
 	}
 	eng := sim.New(cfg.Seed)
 	nw := ring.New(eng, *cfg.Costs, cfg.Processors)
@@ -95,6 +104,9 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.Processors; i++ {
 		nodes[i] = c.procs.Node(i)
 	}
+	if cfg.DRace {
+		c.armDRace()
+	}
 	if cfg.Chaos != nil {
 		c.armChaos(*cfg.Chaos)
 	}
@@ -102,6 +114,34 @@ func New(cfg Config) *Cluster {
 		c.StartTrace(cfg.Trace.W, TraceOpts{SampleInterval: cfg.Trace.SampleInterval})
 	}
 	return c
+}
+
+// armDRace builds the happens-before race detector and installs it on
+// every SVM (access checks) and the process layer (fork/join edges, the
+// vector clocks carried by notify and migration messages).
+func (c *Cluster) armDRace() {
+	c.rd = drace.New(c.svms[0].Base(), c.cfg.PageSize,
+		func() time.Duration { return c.eng.Now().Duration() })
+	for _, svm := range c.svms {
+		svm.SetRaceDetector(c.rd)
+	}
+	c.procs.SetRaceDetector(c.rd)
+	if c.tr != nil {
+		c.rd.SetTraceCollector(c.tr)
+	}
+}
+
+// RaceReport is one detected data race, re-exported from the detector.
+type RaceReport = drace.Report
+
+// RaceReports returns every data race the detector has found so far, in
+// detection order, deduplicated per (word, access pair). Deterministic
+// per (seed, config). Empty when Config.DRace is off.
+func (c *Cluster) RaceReports() []RaceReport {
+	if c.rd == nil {
+		return nil
+	}
+	return c.rd.Reports()
 }
 
 // armChaos converts the public ChaosOpts into the internal fault plane
@@ -197,6 +237,9 @@ func (c *Cluster) StartTrace(w io.Writer, opts TraceOpts) {
 		svm.Endpoint().SetTracer(c.tr)
 	}
 	c.procs.SetTraceCollector(c.tr)
+	if c.rd != nil {
+		c.rd.SetTraceCollector(c.tr)
+	}
 }
 
 // TraceCollector returns the active span collector, or nil when tracing

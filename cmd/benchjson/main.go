@@ -13,6 +13,17 @@
 //
 // Non-benchmark lines (PASS, ok, package headers) are ignored, so the
 // raw `go test` stream can be piped in unfiltered.
+//
+// With -baseline it becomes a regression gate instead of a writer:
+//
+//	go test -run '^$' -bench SimulatorHotPath -benchmem -count 5 . | \
+//	    benchjson -baseline BENCH_PR2.json -match SimulatorHotPath
+//
+// compares stdin's results against the committed snapshot and exits
+// non-zero when ns/op regresses beyond -tolerance or allocs/op exceeds
+// the snapshot. Repeated runs of one benchmark (-count N) are folded to
+// the minimum ns/op — the shared-runner-noise floor — and the maximum
+// allocs/op.
 package main
 
 import (
@@ -88,6 +99,9 @@ func parseLine(line string) (Result, bool) {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "compare stdin against this snapshot instead of writing JSON")
+	match := flag.String("match", "", "with -baseline: compare only benchmarks whose name contains this substring")
+	tol := flag.Float64("tolerance", 0.35, "with -baseline: allowed fractional ns/op regression")
 	flag.Parse()
 
 	rep := Report{
@@ -110,6 +124,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		os.Exit(compare(*baseline, *match, *tol, rep.Benchmarks))
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -124,4 +141,82 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// compare gates stdin's results against a committed snapshot: for every
+// benchmark (optionally filtered by substring) present in both, ns/op
+// must stay within (1+tol) of the snapshot and allocs/op must not
+// exceed it. Returns the process exit status.
+func compare(baselinePath, match string, tol float64, got []Result) int {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", baselinePath, err)
+		return 1
+	}
+	baseByName := make(map[string]Result)
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+
+	// Fold -count N repetitions: min ns/op (the noise floor on a shared
+	// runner), max allocs/op (an alloc appearing in any run is real).
+	folded := make(map[string]Result)
+	var order []string
+	for _, r := range got {
+		if match != "" && !strings.Contains(r.Name, match) {
+			continue
+		}
+		prev, seen := folded[r.Name]
+		if !seen {
+			folded[r.Name] = r
+			order = append(order, r.Name)
+			continue
+		}
+		if r.NsPerOp != nil && (prev.NsPerOp == nil || *r.NsPerOp < *prev.NsPerOp) {
+			prev.NsPerOp = r.NsPerOp
+		}
+		if r.AllocsPerOp != nil && (prev.AllocsPerOp == nil || *r.AllocsPerOp > *prev.AllocsPerOp) {
+			prev.AllocsPerOp = r.AllocsPerOp
+		}
+		folded[r.Name] = prev
+	}
+
+	compared, failures := 0, 0
+	for _, name := range order {
+		r := folded[name]
+		b, ok := baseByName[name]
+		if !ok {
+			fmt.Printf("benchjson: %s: not in %s, skipping\n", name, baselinePath)
+			continue
+		}
+		compared++
+		if r.NsPerOp != nil && b.NsPerOp != nil {
+			limit := *b.NsPerOp * (1 + tol)
+			verdict := "ok"
+			if *r.NsPerOp > limit {
+				verdict = "FAIL"
+				failures++
+			}
+			fmt.Printf("benchjson: %s: %.3f ns/op vs baseline %.3f (limit %.3f): %s\n",
+				name, *r.NsPerOp, *b.NsPerOp, limit, verdict)
+		}
+		if r.AllocsPerOp != nil && b.AllocsPerOp != nil && *r.AllocsPerOp > *b.AllocsPerOp {
+			fmt.Printf("benchjson: %s: %g allocs/op vs baseline %g: FAIL\n",
+				name, *r.AllocsPerOp, *b.AllocsPerOp)
+			failures++
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark on stdin matched %q in %s\n", match, baselinePath)
+		return 1
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
 }

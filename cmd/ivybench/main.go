@@ -27,6 +27,7 @@ func main() {
 	maxProcs := flag.Int("maxprocs", 8, "largest processor count in sweeps (1..64)")
 	seed := flag.Int64("seed", 1, "simulation seed (results are deterministic per seed)")
 	chaos := flag.Bool("chaos", false, "run the chaos sequential-consistency checker (all managers x 3 seeds) and exit")
+	drace := cli.DRaceFlag()
 	var tf cli.TraceFlags
 	tf.Register()
 	flag.Parse()
@@ -34,6 +35,7 @@ func main() {
 		os.Exit(runChaosSuite())
 	}
 	harness.SetSeed(*seed)
+	harness.SetDRace(*drace)
 	tc, closeTrace, err := tf.Config()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ivybench: %v\n", err)

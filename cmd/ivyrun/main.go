@@ -36,6 +36,7 @@ func main() {
 	sysmode := flag.Bool("sysmode", false, "use the projected system-mode cost model (paper's conclusion)")
 	size := flag.Int("n", 0, "problem size override (0 = app default)")
 	iters := flag.Int("iters", 0, "iteration override for iterative apps (0 = default)")
+	drace := cli.DRaceFlag()
 	var tf cli.TraceFlags
 	tf.Register()
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 		Algorithm:       alg,
 		LossProbability: *loss,
 		Seed:            *seed,
+		DRace:           *drace,
 	}
 	if *sysmode {
 		costs := ivy.SystemMode1988()
@@ -146,6 +148,10 @@ func main() {
 	fmt.Printf("forwards       %d\n", res.Stats.Forwards)
 	fmt.Printf("retransmits    %d\n", res.Stats.Retransmissions)
 	fmt.Printf("fault stall    %v\n", tot.SVM.FaultStall.Round(time.Millisecond))
+	if *drace {
+		fmt.Printf("race checks    %d\n", tot.SVM.RaceChecks)
+		fmt.Printf("race reports   %d\n", tot.SVM.RaceReports)
+	}
 	fmt.Println()
 	lat := res.Latency
 	lat.Render(os.Stdout)

@@ -138,6 +138,17 @@ type Config struct {
 	// and the property test in tlb_prop_test.go holds it to that.
 	DisableTLB bool
 
+	// DRace arms the dynamic happens-before data-race detector (see
+	// internal/drace and DESIGN.md §10): accesses unordered by program
+	// synchronization — eventcounts, sequencers, test-and-set locks,
+	// spawn/join, migration — are collected as reports (RaceReports). It
+	// implies DisableTLB so every access reaches an instrumented checked
+	// path; schedules and message counts are unchanged, and the only
+	// virtual-time effect is the wire time of vector clocks piggybacked
+	// on NotifyReq/MigrateReq (see PROTOCOL.md). False — the default —
+	// costs one predicted branch per access.
+	DRace bool
+
 	// Horizon bounds a Run in virtual time (default 1000 hours); hitting
 	// it makes Run fail, which is how runaway programs surface.
 	Horizon time.Duration

@@ -82,6 +82,11 @@ func RunTSP(cfg ivy.Config, par TSPParams) (Result, error) {
 		// value page separately.
 		ubLock := p.NewLock()
 		ubAddr := ubLock.Addr() + 8
+		// Workers read the bound without its lock (readUB): the bound only
+		// ever decreases, so a stale read merely prunes less — the paper's
+		// programs rely on the same relaxed idiom. Declare it to the race
+		// detector as a benign atomic; improvements still take the lock.
+		p.MarkAtomic(ubAddr, 8)
 		// Seed the bound with the greedy tour, as the sequential
 		// reference does; see NearestNeighborTour.
 		p.WriteF64(ubAddr, NearestNeighborTour(graph))

@@ -1,5 +1,6 @@
 // Package cli holds the flag plumbing shared by the command-line tools:
-// the -trace/-sample pair that turns a run's Config into a traced one.
+// the -trace/-sample pair that turns a run's Config into a traced one,
+// and the -drace switch for the data-race detector.
 package cli
 
 import (
@@ -24,6 +25,14 @@ func (t *TraceFlags) Register() {
 		"write a Perfetto/Chrome trace-event JSON file (open in ui.perfetto.dev)")
 	flag.DurationVar(&t.Sample, "sample", 0,
 		"virtual-time sampling interval for the trace's counter series (e.g. 1ms; 0 = off)")
+}
+
+// DRaceFlag installs -drace on the default flag set. The returned bool
+// goes into Config.DRace; reports then show up in the run's statistics
+// (SVM.RaceReports) and through Cluster.RaceReports.
+func DRaceFlag() *bool {
+	return flag.Bool("drace", false,
+		"arm the happens-before data-race detector (virtual time and message counts unchanged)")
 }
 
 // Enabled reports whether any tracing option was set.

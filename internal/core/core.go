@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/drace"
 	"repro/internal/memfs"
 	"repro/internal/mmu"
 	"repro/internal/model"
@@ -58,6 +59,10 @@ type Ctx interface {
 	// TLB returns the context's software translation cache, or nil for
 	// contexts that take the checked path on every access (see tlb.go).
 	TLB() *TLB
+	// Race returns the drace thread of the executing process, or nil for
+	// contexts outside race tracking (allocator setup, tests, or a
+	// detector-off run; see internal/drace).
+	Race() *drace.Thread
 }
 
 // chargeAccess performs the per-access compute charge. With a TLB the
@@ -102,6 +107,10 @@ func (c *ChargeCtx) Fiber() *sim.Fiber { return c.fiber }
 
 // TLB returns the context's translation cache.
 func (c *ChargeCtx) TLB() *TLB { return c.tlb }
+
+// Race returns nil: ChargeCtx is used by machinery outside race
+// tracking (the allocator service, tests).
+func (c *ChargeCtx) Race() *drace.Thread { return nil }
 
 // Charge accumulates compute time, settling a full quantum when reached.
 func (c *ChargeCtx) Charge(d time.Duration) {
@@ -225,6 +234,10 @@ type SVM struct {
 	lat        stats.Latency
 	tracer     *traceCfg
 	trc        *trace.Collector
+
+	// rd is the cluster's race detector, nil (the default) when drace is
+	// off. Every hook guards on it, so the disabled cost is one branch.
+	rd *drace.Detector
 
 	// invalDrop is a chaos-test-only hook: when set and it returns true,
 	// handleInvalidate acks WITHOUT invalidating the local copy — a

@@ -35,6 +35,7 @@ func (s *SVM) ReadBytes(ctx Ctx, addr uint64, n int) []byte {
 			chunk = n - off
 		}
 		frame := s.frameForRead(ctx, p)
+		s.raceRead(ctx, a, uint64(chunk))
 		copy(out[off:off+chunk], frame[po:po+chunk])
 		// frameForRead charged one reference; charge the rest of the
 		// chunk word by word, as the hardware would issue them.
@@ -59,6 +60,7 @@ func (s *SVM) WriteBytes(ctx Ctx, addr uint64, data []byte) {
 			chunk = len(data) - off
 		}
 		frame := s.frameForWrite(ctx, p)
+		s.raceWrite(ctx, a, uint64(chunk))
 		copy(frame[po:po+chunk], data[off:off+chunk])
 		if words := (chunk - 1) / 8; words > 0 {
 			ctx.Charge(time.Duration(words) * s.costs.MemRef)
@@ -98,6 +100,7 @@ func (s *SVM) ReadU64s(ctx Ctx, addr uint64, dst []uint64) {
 	for off < len(dst) {
 		p, po, words := s.alignedWords(addr+uint64(off)*8, len(dst)-off)
 		frame := s.frameForRead(ctx, p)
+		s.raceRead(ctx, addr+uint64(off)*8, uint64(words)*8)
 		for i := 0; i < words; i++ {
 			dst[off+i] = binary.LittleEndian.Uint64(frame[po+8*i:])
 		}
@@ -115,6 +118,7 @@ func (s *SVM) WriteU64s(ctx Ctx, addr uint64, src []uint64) {
 	for off < len(src) {
 		p, po, words := s.alignedWords(addr+uint64(off)*8, len(src)-off)
 		frame := s.frameForWrite(ctx, p)
+		s.raceWrite(ctx, addr+uint64(off)*8, uint64(words)*8)
 		for i := 0; i < words; i++ {
 			binary.LittleEndian.PutUint64(frame[po+8*i:], src[off+i])
 		}
@@ -131,6 +135,7 @@ func (s *SVM) ReadF64s(ctx Ctx, addr uint64, dst []float64) {
 	for off < len(dst) {
 		p, po, words := s.alignedWords(addr+uint64(off)*8, len(dst)-off)
 		frame := s.frameForRead(ctx, p)
+		s.raceRead(ctx, addr+uint64(off)*8, uint64(words)*8)
 		for i := 0; i < words; i++ {
 			dst[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(frame[po+8*i:]))
 		}
@@ -147,6 +152,7 @@ func (s *SVM) WriteF64s(ctx Ctx, addr uint64, src []float64) {
 	for off < len(src) {
 		p, po, words := s.alignedWords(addr+uint64(off)*8, len(src)-off)
 		frame := s.frameForWrite(ctx, p)
+		s.raceWrite(ctx, addr+uint64(off)*8, uint64(words)*8)
 		for i := 0; i < words; i++ {
 			binary.LittleEndian.PutUint64(frame[po+8*i:], math.Float64bits(src[off+i]))
 		}
@@ -191,6 +197,8 @@ func (s *SVM) CopyWords(ctx Ctx, dst, src uint64, n int) {
 		} else {
 			srcFrame = dstFrame
 		}
+		s.raceRead(ctx, src+uint64(off)*8, uint64(words)*8)
+		s.raceWrite(ctx, dst+uint64(off)*8, uint64(words)*8)
 		copy(dstFrame[dpo:dpo+8*words], srcFrame[spo:spo+8*words])
 		if words > 1 {
 			ctx.Charge(time.Duration(2*(words-1)) * s.costs.MemRef)
@@ -236,6 +244,8 @@ func (s *SVM) copyWordsBackward(ctx Ctx, dst, src uint64, n int) {
 		} else {
 			srcFrame = dstFrame
 		}
+		s.raceRead(ctx, src+8*uint64(end-words), uint64(words)*8)
+		s.raceWrite(ctx, dst+8*uint64(end-words), uint64(words)*8)
 		copy(dstFrame[dpo:dpo+8*words], srcFrame[spo:spo+8*words])
 		if words > 1 {
 			ctx.Charge(time.Duration(2*(words-1)) * s.costs.MemRef)
@@ -343,7 +353,9 @@ func (s *SVM) readU64Checked(ctx Ctx, t *TLB, addr uint64) uint64 {
 		t.misses++
 	}
 	p, po := s.scalarSpan(addr, 8)
-	return binary.LittleEndian.Uint64(s.frameForReadChecked(ctx, t, p)[po:])
+	frame := s.frameForReadChecked(ctx, t, p)
+	s.raceRead(ctx, addr, 8)
+	return binary.LittleEndian.Uint64(frame[po:])
 }
 
 // WriteU64 writes a little-endian 64-bit word.
@@ -413,7 +425,9 @@ func (s *SVM) writeU64Checked(ctx Ctx, t *TLB, addr uint64, v uint64) {
 		t.misses++
 	}
 	p, po := s.scalarSpan(addr, 8)
-	binary.LittleEndian.PutUint64(s.frameForWriteChecked(ctx, t, p)[po:], v)
+	frame := s.frameForWriteChecked(ctx, t, p)
+	s.raceWrite(ctx, addr, 8)
+	binary.LittleEndian.PutUint64(frame[po:], v)
 }
 
 // ReadI64 reads a 64-bit signed integer.
@@ -454,7 +468,9 @@ func (s *SVM) ReadU32(ctx Ctx, addr uint64) uint32 {
 		}
 	}
 	p, po := s.scalarSpan(addr, 4)
-	return binary.LittleEndian.Uint32(s.frameForReadChecked(ctx, t, p)[po:])
+	frame := s.frameForReadChecked(ctx, t, p)
+	s.raceRead(ctx, addr, 4)
+	return binary.LittleEndian.Uint32(frame[po:])
 }
 
 // WriteU32 writes a little-endian 32-bit word.
@@ -469,7 +485,9 @@ func (s *SVM) WriteU32(ctx Ctx, addr uint64, v uint32) {
 		}
 	}
 	p, po := s.scalarSpan(addr, 4)
-	binary.LittleEndian.PutUint32(s.frameForWriteChecked(ctx, t, p)[po:], v)
+	frame := s.frameForWriteChecked(ctx, t, p)
+	s.raceWrite(ctx, addr, 4)
+	binary.LittleEndian.PutUint32(frame[po:], v)
 }
 
 // ReadU8 reads one byte.
@@ -483,7 +501,9 @@ func (s *SVM) ReadU8(ctx Ctx, addr uint64) uint8 {
 		}
 	}
 	p, po := s.scalarSpan(addr, 1)
-	return s.frameForReadChecked(ctx, t, p)[po]
+	frame := s.frameForReadChecked(ctx, t, p)
+	s.raceRead(ctx, addr, 1)
+	return frame[po]
 }
 
 // WriteU8 writes one byte.
@@ -498,7 +518,9 @@ func (s *SVM) WriteU8(ctx Ctx, addr uint64, v uint8) {
 		}
 	}
 	p, po := s.scalarSpan(addr, 1)
-	s.frameForWriteChecked(ctx, t, p)[po] = v
+	frame := s.frameForWriteChecked(ctx, t, p)
+	s.raceWrite(ctx, addr, 1)
+	frame[po] = v
 }
 
 // TestAndSet atomically sets the byte at addr to 1, returning true if it
@@ -517,6 +539,9 @@ func (s *SVM) TestAndSet(ctx Ctx, addr uint64) bool {
 		return false
 	}
 	frame[po] = 1
+	// A successful test-and-set is a lock acquire: order this process
+	// after every release (Clear) of the same lock so far.
+	s.RaceAcquire(ctx, addr)
 	return true
 }
 
@@ -526,6 +551,9 @@ func (s *SVM) Clear(ctx Ctx, addr uint64) {
 	ctx.Charge(s.costs.TestAndSet) // before the frame, as in TestAndSet
 	frame := s.frameForWrite(ctx, p)
 	frame[po] = 0
+	// Clearing the byte is the lock release: publish everything this
+	// process did while holding it.
+	s.RaceRelease(ctx, addr)
 }
 
 // frameForRead returns page p's frame with at least read access. The
@@ -552,7 +580,10 @@ func (s *SVM) frameForReadChecked(ctx Ctx, t *TLB, p mmu.PageID) []byte {
 	e := s.table.Entry(p)
 	if e.Access != mmu.AccessNil {
 		if fr := s.pool.GetFrame(p); fr != nil {
-			if t != nil {
+			// With the detector armed the TLBs are never refilled
+			// (Config.DRace forces DisableTLB, so t is nil anyway): every
+			// access must reach a hooked checked tail.
+			if t != nil && s.rd == nil {
 				t.fill(s, p, e, fr, e.Access)
 			}
 			return fr.Data()
@@ -583,7 +614,7 @@ func (s *SVM) frameForWriteChecked(ctx Ctx, t *TLB, p mmu.PageID) []byte {
 			if !e.Dirty {
 				e.Dirty = true
 			}
-			if t != nil {
+			if t != nil && s.rd == nil { // see frameForReadChecked
 				t.fill(s, p, e, fr, mmu.AccessWrite)
 			}
 			return fr.Data()

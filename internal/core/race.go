@@ -1,0 +1,95 @@
+package core
+
+import "repro/internal/drace"
+
+// Race-detection hooks. Every shared-memory access entry point in this
+// package reports its address range to the drace detector through
+// raceRead/raceWrite (the racehook analyzer in internal/ivyvet enforces
+// this), and the test-and-set primitives report acquire/release edges.
+// All hooks are nil-guarded: with the detector off (the default) each is
+// one branch, no call into drace, no allocation — the detector-off hot
+// path stays exactly as fast as before the subsystem existed.
+//
+// The hooks live on the checked access tails, after the fault handlers
+// have secured the frame: the access is then known to be in bounds and
+// the process has settled any coherence traffic, so virtual time and
+// message counts are identical with the detector on or off. Arming the
+// detector disables the software TLBs (see Config.DRace), which keeps
+// the //ivy:hotpath fast paths call-free and routes every access
+// through a hooked tail.
+
+// SetRaceDetector arms (or, with nil, disarms) happens-before race
+// checking on this node's accesses.
+func (s *SVM) SetRaceDetector(d *drace.Detector) { s.rd = d }
+
+// RaceDetector returns the armed detector, or nil.
+func (s *SVM) RaceDetector() *drace.Detector { return s.rd }
+
+// raceRead checks a read of [addr, addr+n) against the access history.
+func (s *SVM) raceRead(ctx Ctx, addr, n uint64) {
+	if s.rd == nil {
+		return
+	}
+	t := ctx.Race()
+	if t == nil {
+		return
+	}
+	s.st.SVM.RaceChecks++
+	s.st.SVM.RaceReports += uint64(s.rd.ReadAccess(t, int(s.node), addr, n))
+}
+
+// raceWrite checks a write of [addr, addr+n).
+func (s *SVM) raceWrite(ctx Ctx, addr, n uint64) {
+	if s.rd == nil {
+		return
+	}
+	t := ctx.Race()
+	if t == nil {
+		return
+	}
+	s.st.SVM.RaceChecks++
+	s.st.SVM.RaceReports += uint64(s.rd.WriteAccess(t, int(s.node), addr, n))
+}
+
+// RaceAcquire records a lock-acquire edge on the sync object at addr: a
+// successful TestAndSet, an eventcount Wait/Read observing the value.
+// The containing word becomes exempt from data checking.
+func (s *SVM) RaceAcquire(ctx Ctx, addr uint64) {
+	if s.rd == nil {
+		return
+	}
+	s.rd.Acquire(ctx.Race(), addr)
+}
+
+// RaceRelease records a release edge on the sync object at addr: a lock
+// Clear, an eventcount Advance.
+func (s *SVM) RaceRelease(ctx Ctx, addr uint64) {
+	if s.rd == nil {
+		return
+	}
+	s.rd.Release(ctx.Race(), addr)
+}
+
+// RaceVC snapshots the calling thread's vector clock for piggybacking on
+// a wire message (eventcount notify). Nil with the detector off or for
+// untracked contexts.
+func (s *SVM) RaceVC(ctx Ctx) []uint64 {
+	if s.rd == nil {
+		return nil
+	}
+	t := ctx.Race()
+	if t == nil {
+		return nil
+	}
+	return t.Snapshot()
+}
+
+// RaceMarkSync exempts [addr, addr+n) from data-race checking —
+// synchronization state (lock bytes, eventcount records) or words the
+// program declares benign shared atomics (see Proc.MarkAtomic).
+func (s *SVM) RaceMarkSync(addr, n uint64) {
+	if s.rd == nil {
+		return
+	}
+	s.rd.MarkSync(addr, n)
+}

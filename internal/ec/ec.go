@@ -55,6 +55,13 @@ func Init(p *proc.Process, addr uint64, capacity int) *EC {
 		panic("ec: capacity must be positive")
 	}
 	s := p.Node().SVM()
+	// The lock byte and value are synchronization state: the race
+	// detector consumes their ordering (test-and-set edges, advance/wait
+	// edges) rather than checking them. Mark before the zeroing writes so
+	// they never enter the data shadow. The waiter table is ordinary data
+	// protected by the lock, so it stays checked.
+	s.RaceMarkSync(addr+offLock, 1)
+	s.RaceMarkSync(addr+offValue, 8)
 	zero := make([]byte, SizeFor(capacity))
 	s.WriteBytes(p, addr, zero)
 	s.WriteU32(p, addr+offCap, uint32(capacity))
@@ -94,8 +101,15 @@ func (e *EC) unlock(p *proc.Process) {
 }
 
 // Read returns the eventcount's current value.
+//
+// Happens-before: a Read acquires the edges published by every Advance
+// so far — advancing happens-before observing the advanced value. Two
+// Reads create no edge with each other (readers do not publish).
 func (e *EC) Read(p *proc.Process) int64 {
-	return p.Node().SVM().ReadI64(p, e.addr+offValue)
+	s := p.Node().SVM()
+	v := s.ReadI64(p, e.addr+offValue)
+	s.RaceAcquire(p, e.addr+offValue)
+	return v
 }
 
 // Wait suspends the calling process until the eventcount reaches target.
@@ -104,12 +118,15 @@ func (e *EC) Wait(p *proc.Process, target int64) {
 	// Lock-free fast path: the value is monotonic, so a stale read can
 	// only under-report; a satisfied read is definitive.
 	if s.ReadI64(p, e.addr+offValue) >= target {
+		// Advance happens-before the Wait that observes it.
+		s.RaceAcquire(p, e.addr+offValue)
 		return
 	}
 	for {
 		e.lock(p)
 		v := s.ReadI64(p, e.addr+offValue)
 		if v >= target {
+			s.RaceAcquire(p, e.addr+offValue)
 			e.unlock(p)
 			return
 		}
@@ -138,6 +155,11 @@ func (e *EC) Advance(p *proc.Process) int64 {
 	e.lock(p)
 	v := s.ReadI64(p, e.addr+offValue) + 1
 	s.WriteI64(p, e.addr+offValue, v)
+	// The advancer's history happens-before every later Wait/Read that
+	// observes the new value; vc also rides the waiter notifications so
+	// the edge reaches waiters that skip the re-read.
+	s.RaceRelease(p, e.addr+offValue)
+	vc := s.RaceVC(p)
 	n := int(s.ReadU32(p, e.addr+offNWaiters))
 	i := 0
 	for i < n {
@@ -157,7 +179,7 @@ func (e *EC) Advance(p *proc.Process) int64 {
 			s.WriteU32(p, rec+16, s.ReadU32(p, last+16))
 		}
 		n--
-		p.Node().NotifyWaiter(proc.PID{Node: nodeID, PCB: handle}, e.addr, v)
+		p.Node().NotifyWaiter(proc.PID{Node: nodeID, PCB: handle}, e.addr, v, vc)
 	}
 	s.WriteU32(p, e.addr+offNWaiters, uint32(n))
 	e.unlock(p)
@@ -195,6 +217,10 @@ func SequencerSize() int { return seqSize }
 // InitSequencer initializes a sequencer at addr.
 func InitSequencer(p *proc.Process, addr uint64) *Sequencer {
 	s := p.Node().SVM()
+	// Only the lock byte is synchronization state; the ticket value at
+	// addr+8 is ordinary data whose accesses the test-and-set edges keep
+	// totally ordered, so it stays race-checked.
+	s.RaceMarkSync(addr, 1)
 	s.WriteU8(p, addr, 0)
 	s.WriteI64(p, addr+8, 0)
 	return &Sequencer{addr: addr}

@@ -84,9 +84,18 @@ var pendingTrace *ivy.TraceConfig
 // builds (cmd/ivybench's -trace/-sample flags).
 func SetTrace(tc *ivy.TraceConfig) { pendingTrace = tc }
 
+// draceOn arms the data-race detector on every cluster the experiments
+// build (cmd/ivybench's -drace flag); race totals surface in each
+// result's statistics (SVM.RaceReports).
+var draceOn bool
+
+// SetDRace arms the happens-before race detector for every experiment
+// cluster.
+func SetDRace(v bool) { draceOn = v }
+
 // baseConfig is the common experiment configuration.
 func baseConfig(procs int) ivy.Config {
-	cfg := ivy.Config{Processors: procs, Seed: seed}
+	cfg := ivy.Config{Processors: procs, Seed: seed, DRace: draceOn}
 	if pendingTrace != nil {
 		cfg.Trace = pendingTrace
 		pendingTrace = nil

@@ -50,6 +50,16 @@ func TestWiresymGolden(t *testing.T) {
 	runGolden(t, []*analysis.Analyzer{WiresymAnalyzer}, "wsym/wire")
 }
 
+// TestRacehookGolden plants the drace coverage hole — an exported SVM
+// accessor handing out frame bytes with no detector hook on its call
+// graph — and asserts the analyzer flags it while hooked accessors,
+// transitive hooks, synchronization primitives (RaceAcquire instead of
+// raceRead), ignored diagnostics dumps, and frame-free methods all
+// stay legal.
+func TestRacehookGolden(t *testing.T) {
+	runGolden(t, []*analysis.Analyzer{RacehookAnalyzer}, "race/internal/core")
+}
+
 // TestIgnoreMechanism pins the escape hatch: a reasoned ignore
 // suppresses the diagnostic on its own and the following line, and a
 // bare ignore is itself an error and suppresses nothing. (This test

@@ -1,4 +1,4 @@
-// Package ivyvet is the simulator's custom static-analysis suite: five
+// Package ivyvet is the simulator's custom static-analysis suite: six
 // analyzers that mechanically enforce invariants this reproduction
 // otherwise trusts to convention and review.
 //
@@ -16,6 +16,10 @@
 //   - wiresym: every registered wire message kind must have a name, a
 //     decoder factory, a Kind method agreeing with its registration,
 //     and Encode/Decode bodies that move the same field sequence.
+//   - racehook: every shared-memory access entry point in internal/core
+//     (exported SVM method taking a Ctx that reaches page frames) must
+//     report to the drace race detector — an unhooked accessor is a
+//     blind spot where data races silently pass.
 //
 // A diagnostic is suppressed by a `//ivyvet:ignore <reason>` comment on
 // the flagged line or the line above; the reason is mandatory, so every
@@ -41,6 +45,7 @@ func Analyzers() []*analysis.Analyzer {
 		ShootdownAnalyzer,
 		HotpathAnalyzer,
 		WiresymAnalyzer,
+		RacehookAnalyzer,
 	}
 }
 

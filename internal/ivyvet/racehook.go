@@ -1,0 +1,158 @@
+package ivyvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/ivyvet/analysis"
+)
+
+// RacehookAnalyzer enforces the drace coverage invariant in
+// internal/core: every shared-memory access entry point — an exported
+// SVM method taking a Ctx that (transitively, within the package)
+// touches page frames — must also reach a race-detector hook on its
+// checked tail. The detector only sees what the entry points report;
+// an unhooked accessor is a blind spot where races silently pass, so a
+// new accessor must either call raceRead/raceWrite (data access),
+// RaceAcquire/RaceRelease (synchronization), or RaceMarkSync
+// (detector-exempt metadata), or carry a reasoned //ivyvet:ignore.
+var RacehookAnalyzer = &analysis.Analyzer{
+	Name: "racehook",
+	Doc: "flag exported SVM accessors in internal/core that reach page frames without a drace hook; " +
+		"every shared-memory access entry point must report to the race detector or be ivyvet:ignore'd",
+	Run: runRacehook,
+}
+
+// racehookTouchers are the frame-returning tails: any function that
+// reaches one of these (in-package) hands out shared page bytes.
+var racehookTouchers = map[string]bool{
+	"frameForRead":         true,
+	"frameForWrite":        true,
+	"frameForReadChecked":  true,
+	"frameForWriteChecked": true,
+}
+
+// racehookHooks are the detector entry points; reaching any of them
+// satisfies the invariant.
+var racehookHooks = map[string]bool{
+	"raceRead":     true,
+	"raceWrite":    true,
+	"RaceAcquire":  true,
+	"RaceRelease":  true,
+	"RaceMarkSync": true,
+}
+
+func runRacehook(pass *analysis.Pass) (interface{}, error) {
+	if simWorldComponent(pass.PkgPath) != "core" {
+		return nil, nil
+	}
+
+	// Same-package call graph over the declared functions. Edges are any
+	// in-package function referenced in a body — an over-approximation
+	// (a function passed as a value counts as a call), which can only
+	// make the check more permissive about hooks already present, never
+	// flag a hooked accessor.
+	type node struct {
+		decl  *ast.FuncDecl
+		calls []*types.Func
+	}
+	graph := make(map[*types.Func]*node)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &node{decl: fd}
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+				if ok && callee.Pkg() == pass.Pkg {
+					n.calls = append(n.calls, callee)
+				}
+				return true
+			})
+			graph[fn] = n
+		}
+	}
+
+	reaches := func(from *types.Func, targets map[string]bool) bool {
+		seen := make(map[*types.Func]bool)
+		var walk func(fn *types.Func) bool
+		walk = func(fn *types.Func) bool {
+			if targets[fn.Name()] {
+				return true
+			}
+			if seen[fn] {
+				return false
+			}
+			seen[fn] = true
+			n := graph[fn]
+			if n == nil {
+				return false
+			}
+			for _, c := range n.calls {
+				if walk(c) {
+					return true
+				}
+			}
+			return false
+		}
+		return walk(from)
+	}
+
+	for fn, n := range graph {
+		if !isSVMAccessEntryPoint(pass, fn, n.decl) {
+			continue
+		}
+		if !reaches(fn, racehookTouchers) {
+			continue // no frame data flows out of this method
+		}
+		if reaches(fn, racehookHooks) {
+			continue
+		}
+		pass.Reportf(n.decl.Name.Pos(),
+			"%s reaches page frames without a drace hook: shared-memory access entry points must call raceRead/raceWrite (or RaceAcquire/RaceRelease/RaceMarkSync) on the checked tail so the race detector sees every access", fn.Name())
+	}
+	return nil, nil
+}
+
+// isSVMAccessEntryPoint reports whether fd is an exported method on SVM
+// taking a Ctx parameter — the shape of every client-facing shared-
+// memory accessor.
+func isSVMAccessEntryPoint(pass *analysis.Pass, fn *types.Func, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() || fd.Recv == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil || namedTypeName(recv.Type()) != "SVM" {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if namedTypeName(sig.Params().At(i).Type()) == "Ctx" {
+			return true
+		}
+	}
+	return false
+}
+
+// namedTypeName unwraps a pointer and returns the named type's name, or
+// "" for unnamed types.
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}

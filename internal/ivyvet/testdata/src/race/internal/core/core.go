@@ -1,0 +1,83 @@
+// Package core is racehook-analyzer golden input: a miniature of the
+// simulator's SVM accessor shapes. PeekWord below is the bug the
+// analyzer exists for — a new exported accessor that hands out frame
+// bytes without reporting the access to the race detector.
+package core
+
+type Ctx interface {
+	Charge(n int)
+}
+
+type SVM struct {
+	frames [][]byte
+	rd     *detector
+}
+
+type detector struct{}
+
+// frameForRead is the frame-returning tail every accessor funnels
+// through.
+func (s *SVM) frameForRead(ctx Ctx, p int) []byte { return s.frames[p] }
+
+// frameForWrite is the write-mode tail.
+func (s *SVM) frameForWrite(ctx Ctx, p int) []byte { return s.frames[p] }
+
+// raceRead reports a read to the detector.
+func (s *SVM) raceRead(ctx Ctx, addr uint64, n uint64) {}
+
+// raceWrite reports a write to the detector.
+func (s *SVM) raceWrite(ctx Ctx, addr uint64, n uint64) {}
+
+// RaceAcquire records a lock-acquire edge.
+func (s *SVM) RaceAcquire(ctx Ctx, addr uint64) {}
+
+// RaceMarkSync exempts detector-internal metadata.
+func (s *SVM) RaceMarkSync(addr, n uint64) {}
+
+// ReadWord is a clean accessor: it touches a frame and reports.
+func (s *SVM) ReadWord(ctx Ctx, addr uint64) byte {
+	frame := s.frameForRead(ctx, int(addr))
+	s.raceRead(ctx, addr, 1)
+	return frame[0]
+}
+
+// ReadWordIndirect reaches both the frame and the hook transitively —
+// also clean.
+func (s *SVM) ReadWordIndirect(ctx Ctx, addr uint64) byte {
+	return s.ReadWord(ctx, addr)
+}
+
+// PeekWord hands out frame bytes with no detector hook anywhere on its
+// call graph — the coverage hole racehook must flag.
+func (s *SVM) PeekWord(ctx Ctx, addr uint64) byte { // want `PeekWord reaches page frames without a drace hook`
+	return s.frameForRead(ctx, int(addr))[0]
+}
+
+// TestAndSet never calls raceRead/raceWrite but records the acquire
+// edge — synchronization primitives are hooked differently, not
+// unhooked.
+func (s *SVM) TestAndSet(ctx Ctx, addr uint64) bool {
+	frame := s.frameForWrite(ctx, int(addr))
+	if frame[0] != 0 {
+		return false
+	}
+	frame[0] = 1
+	s.RaceAcquire(ctx, addr)
+	return true
+}
+
+// DebugDump deliberately bypasses the detector (diagnostics must not
+// perturb epochs); the reasoned ignore documents that at the site.
+//
+//ivyvet:ignore diagnostic dump must not perturb detector epochs
+func (s *SVM) DebugDump(ctx Ctx, addr uint64) byte {
+	return s.frameForRead(ctx, int(addr))[0]
+}
+
+// Base touches no frames: exported Ctx-taking methods without frame
+// access are out of scope.
+func (s *SVM) Base(ctx Ctx) uint64 { return 0 }
+
+// residentFrame is unexported: serve-side internals are reachable only
+// through handlers, which the entry-point rule does not cover.
+func (s *SVM) residentFrame(ctx Ctx, p int) []byte { return s.frameForRead(ctx, p) }

@@ -50,11 +50,16 @@ func (n *Node) handleResume(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 }
 
 // handleNotify wakes an eventcount waiter whose Advance ran remotely.
+// The piggybacked vector clock joins the waiter's thread before it runs
+// again: the advancer's history happens-before the wakeup.
 func (n *Node) handleNotify(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 	m := env.Body.(*wire.NotifyReq)
 	if sl := n.pcbs[m.PCBAddr]; sl != nil && sl.state == Migrated {
 		ctx.Forward(sl.forward.Node)
 		return nil
+	}
+	if p := n.cluster.procs[m.PCBAddr]; p != nil {
+		p.race.JoinVC(m.VC)
 	}
 	n.resumeLocal(m.PCBAddr)
 	return &wire.NotifyReq{PCBAddr: m.PCBAddr, ECAddr: m.ECAddr, Value: m.Value}
@@ -62,13 +67,18 @@ func (n *Node) handleNotify(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 
 // NotifyWaiter wakes an eventcount waiter: locally through the ready
 // queue, remotely through a reliable notify carrying the eventcount
-// address and value.
-func (n *Node) NotifyWaiter(pid PID, ecAddr uint64, value int64) {
+// address and value. vc is the advancer's vector clock at the Advance
+// (nil with drace off); it joins the waiter so the wakeup carries the
+// happens-before edge even when the waiter skips the value re-read.
+func (n *Node) NotifyWaiter(pid PID, ecAddr uint64, value int64, vc []uint64) {
 	if pid.Node == n.id {
+		if p := n.cluster.procs[pid.PCB]; p != nil {
+			p.race.JoinVC(vc)
+		}
 		n.resumeLocal(pid.PCB)
 		return
 	}
-	n.ep.NotifyReliable(pid.Node, &wire.NotifyReq{PCBAddr: pid.PCB, ECAddr: ecAddr, Value: value})
+	n.ep.NotifyReliable(pid.Node, &wire.NotifyReq{PCBAddr: pid.PCB, ECAddr: ecAddr, Value: value, VC: vc})
 }
 
 // --- Forwarding-pointer garbage collection ---------------------------------

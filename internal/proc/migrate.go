@@ -144,6 +144,7 @@ func (n *Node) MigrateOut(f *sim.Fiber, p *Process, dst ring.NodeID) bool {
 		StackPage:  tr.current,
 		StackData:  tr.currentData,
 		UpperPages: tr.upper,
+		VC:         raceVC(p),
 	}
 	reply, err := n.ep.Call(f, dst, req)
 	if err != nil {
@@ -181,6 +182,7 @@ func (p *Process) MigrateTo(dst ring.NodeID) {
 		StackPage:  tr.current,
 		StackData:  tr.currentData,
 		UpperPages: tr.upper,
+		VC:         raceVC(p),
 	}
 	reply, err := n.ep.Call(p.fiber, dst, req)
 	rejected := false
@@ -210,6 +212,18 @@ func (p *Process) MigrateTo(dst ring.NodeID) {
 	p.fiber.Park("awaiting dispatch after migration")
 }
 
+// raceVC snapshots p's vector clock for the migration message, or nil
+// with drace off. The process object (and so its detector thread) is
+// shared simulator state, but the snapshot documents on the wire what a
+// distributed implementation would ship: the migrating thread's clock
+// travels with the PCB.
+func raceVC(p *Process) []uint64 {
+	if p.race == nil {
+		return nil
+	}
+	return p.race.Snapshot()
+}
+
 // handleMigrate is the destination side: bind the carried PCB to the
 // live process, adopt the stack pages, leave a forwarding pointer at the
 // source, and put the process on the ready queue.
@@ -233,6 +247,10 @@ func (n *Node) handleMigrate(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 	for _, pg := range m.UpperPages {
 		n.svm.AdoptPage(f, mmu.PageID(pg), nil)
 	}
+	// Join the carried vector clock back into the thread. Same thread, so
+	// this is a no-op here — it exists to exercise the wire mechanism the
+	// migration handoff edge rides on (see PROTOCOL.md).
+	p.race.JoinVC(m.VC)
 	old := p.node
 	if sl := old.pcbs[p.handle]; sl != nil {
 		sl.proc = nil

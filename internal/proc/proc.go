@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/drace"
 	"repro/internal/model"
 	"repro/internal/remop"
 	"repro/internal/ring"
@@ -151,6 +152,12 @@ type Cluster struct {
 
 	trc *trace.Collector
 
+	// race is the cluster's happens-before detector (nil = drace off).
+	// Create forks a detector thread per process, Join closes the edge,
+	// and the eventcount-notify/migration handlers carry vector clocks
+	// across nodes.
+	race *drace.Detector
+
 	// disableTLB makes Create hand out nil TLBs, forcing every access
 	// through the checked path (the property test's control arm).
 	disableTLB bool
@@ -163,6 +170,10 @@ func (c *Cluster) SetTraceCollector(t *trace.Collector) { c.trc = t }
 
 // SetDisableTLB turns process software TLBs off (before any Create).
 func (c *Cluster) SetDisableTLB(v bool) { c.disableTLB = v }
+
+// SetRaceDetector arms happens-before race tracking on process
+// lifecycle events (before any Create).
+func (c *Cluster) SetRaceDetector(d *drace.Detector) { c.race = d }
 
 // NewCluster creates the process-management layer over the given SVMs.
 // Entry i of svms/eps/cpus/sts belongs to node i.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/drace"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -64,6 +65,11 @@ type Process struct {
 	// doneWaiters are fibers blocked in Join.
 	doneWaiters []*sim.Fiber
 
+	// race is the process's happens-before thread (nil = drace off). It
+	// travels with the process across migrations: the same logical thread
+	// keeps its vector clock wherever it runs.
+	race *drace.Thread
+
 	// span is the process's current residence span (one per node visited;
 	// migration closes it and opens a new one on the destination).
 	span trace.SpanID
@@ -92,6 +98,12 @@ func (n *Node) Create(body Body, opts CreateOpts) *Process {
 	}
 	if p.name == "" {
 		p.name = fmt.Sprintf("proc%d", p.handle)
+	}
+	if d := n.cluster.race; d != nil {
+		// Fork edge: everything the creator did so far happens-before
+		// everything the child does. A creator outside race tracking (the
+		// test harness, the facade bootstrap) forks from the root thread.
+		p.race = d.Fork(d.ThreadOf(n.eng.Current()), p.name)
 	}
 	n.cluster.procs[p.handle] = p
 	n.pcbs[p.handle] = &slot{proc: p, state: Ready}
@@ -136,6 +148,9 @@ func (p *Process) StackPages() int { return p.stackPages }
 
 // Fiber returns the fiber executing the process.
 func (p *Process) Fiber() *sim.Fiber { return p.fiber }
+
+// Race returns the process's happens-before thread (nil = drace off).
+func (p *Process) Race() *drace.Thread { return p.race }
 
 // TLB returns the process's translation cache (nil = disabled).
 func (p *Process) TLB() *core.TLB { return p.tlb }
@@ -182,6 +197,9 @@ func (p *Process) start() {
 	p.started = true
 	p.fiber = p.node.eng.Go(p.name, func(f *sim.Fiber) {
 		p.fiber = f
+		if d := p.node.cluster.race; d != nil && p.race != nil {
+			d.Bind(f, p.race)
+		}
 		p.body(p)
 		p.terminate()
 	})
@@ -217,11 +235,16 @@ func (p *Process) terminate() {
 // primitive (tests, facade), not an IVY client call — client programs
 // synchronize with eventcounts.
 func (p *Process) Join(f *sim.Fiber) {
-	if p.state == Terminated {
-		return
+	if p.state != Terminated {
+		p.doneWaiters = append(p.doneWaiters, f)
+		f.Park("joining " + p.name)
 	}
-	p.doneWaiters = append(p.doneWaiters, f)
-	f.Park("joining " + p.name)
+	if d := p.node.cluster.race; d != nil {
+		// Join edge: everything the terminated process did happens-before
+		// everything the joiner does next. Joiners outside race tracking
+		// (the run watcher) resolve to a nil thread and are skipped.
+		d.Join(d.ThreadOf(f), p.race)
+	}
 }
 
 // Suspend blocks the process until Resume. The node dispatches the next

@@ -55,6 +55,12 @@ type SVM struct {
 	// FaultStall is total virtual time processes spent blocked in fault
 	// service on this node.
 	FaultStall time.Duration
+
+	// Race-detector activity (zero unless Config.DRace armed drace):
+	// RaceChecks counts accesses run through the happens-before checker,
+	// RaceReports counts new deduplicated races found on this node.
+	RaceChecks  uint64
+	RaceReports uint64
 }
 
 // Proc counts one node's process-management activity.
@@ -99,6 +105,8 @@ func (n Node) Sub(o Node) Node {
 			InvalReceived: n.SVM.InvalReceived - o.SVM.InvalReceived,
 			StaleInvals:   n.SVM.StaleInvals - o.SVM.StaleInvals,
 			FaultStall:    n.SVM.FaultStall - o.SVM.FaultStall,
+			RaceChecks:    n.SVM.RaceChecks - o.SVM.RaceChecks,
+			RaceReports:   n.SVM.RaceReports - o.SVM.RaceReports,
 		},
 		Proc: Proc{
 			Created:       n.Proc.Created - o.Proc.Created,
@@ -210,6 +218,8 @@ func (c Cluster) Total() Node {
 		t.SVM.InvalReceived += n.SVM.InvalReceived
 		t.SVM.StaleInvals += n.SVM.StaleInvals
 		t.SVM.FaultStall += n.SVM.FaultStall
+		t.SVM.RaceChecks += n.SVM.RaceChecks
+		t.SVM.RaceReports += n.SVM.RaceReports
 		t.Proc.Created += n.Proc.Created
 		t.Proc.Terminated += n.Proc.Terminated
 		t.Proc.CtxSwitches += n.Proc.CtxSwitches

@@ -17,6 +17,7 @@ func sampleNode(k uint64) Node {
 			PagesSent: 4 * k, PagesReceived: 4 * k,
 			InvalSent: 3 * k, InvalReceived: 3 * k, StaleInvals: k,
 			FaultStall: time.Duration(k) * time.Second,
+			RaceChecks: 11 * k, RaceReports: 2 * k,
 		},
 		Proc: Proc{
 			Created: 2 * k, Terminated: 2 * k, CtxSwitches: 5 * k,

@@ -46,6 +46,10 @@ const (
 	// Process-management phases (Parent == 0 for lifetime spans).
 	PhaseProcess // a process's residence on one node
 	PhaseMigrate // a migration arrival (instant)
+
+	// PhaseRace marks a data-race report from the drace detector
+	// (instant, Parent == 0).
+	PhaseRace
 )
 
 var phaseNames = [...]string{
@@ -63,6 +67,7 @@ var phaseNames = [...]string{
 	PhaseDiskWrite:  "disk-write",
 	PhaseProcess:    "process",
 	PhaseMigrate:    "migrate",
+	PhaseRace:       "race",
 }
 
 func (p Phase) String() string {

@@ -22,13 +22,13 @@ func seedEnvelopes() []*Envelope {
 		&InvalidateReq{Page: 5, NewOwner: 1},
 		&InvalidateAck{Page: 5},
 		&MgrConfirm{Page: 6, NewOwner: 3, Migration: true, ReadOnly: true},
-		&MigrateReq{PCB: []byte("pcb"), StackPage: 12, StackData: []byte("stack"), UpperPages: []uint32{13, 14, 15}},
+		&MigrateReq{PCB: []byte("pcb"), StackPage: 12, StackData: []byte("stack"), UpperPages: []uint32{13, 14, 15}, VC: []uint64{1, 2, 3}},
 		&MigrateAccept{},
 		&MigrateReject{Reason: RejectBusy},
 		&WorkReq{Load: 9},
 		&WorkReply{Granted: true},
 		&ResumeReq{PCBAddr: 0xDEADBEEF},
-		&NotifyReq{PCBAddr: 0x1000, ECAddr: 0x2000, Value: -42},
+		&NotifyReq{PCBAddr: 0x1000, ECAddr: 0x2000, Value: -42, VC: []uint64{7, 8}},
 		&AllocReq{Size: 4096},
 		&AllocReply{Addr: 0x8000, OK: true},
 		&FreeReq{Addr: 0x8000},

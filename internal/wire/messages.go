@@ -144,11 +144,15 @@ func (m *MgrConfirm) Decode(r *Reader) error {
 // contents of the current stack page (copied so the destination's
 // dispatcher does not immediately page-fault), and the page numbers of
 // the upper stack pages whose ownership transfers without data movement.
+// With the race detector armed, VC carries the migrating thread's vector
+// clock (the migration-handoff happens-before edge); detector-off it is
+// empty and encodes as zero bytes, keeping frames bit-identical.
 type MigrateReq struct {
 	PCB        []byte
 	StackPage  uint32
 	StackData  []byte
 	UpperPages []uint32
+	VC         []uint64
 }
 
 func (*MigrateReq) Kind() Kind { return KindMigrateReq }
@@ -159,6 +163,12 @@ func (m *MigrateReq) Encode(b *Buffer) {
 	b.PutU32(uint32(len(m.UpperPages)))
 	for _, p := range m.UpperPages {
 		b.PutU32(p)
+	}
+	if len(m.VC) > 0 {
+		b.PutU32(uint32(len(m.VC)))
+		for _, v := range m.VC {
+			b.PutU64(v)
+		}
 	}
 }
 func (m *MigrateReq) Decode(r *Reader) error {
@@ -175,6 +185,16 @@ func (m *MigrateReq) Decode(r *Reader) error {
 	m.UpperPages = make([]uint32, n)
 	for i := range m.UpperPages {
 		m.UpperPages[i] = r.U32()
+	}
+	if r.Remaining() > 0 {
+		k := int(r.U32())
+		if k > r.Remaining()/8 {
+			return ErrShortBuffer
+		}
+		m.VC = make([]uint64, k)
+		for i := range m.VC {
+			m.VC[i] = r.U64()
+		}
 	}
 	return nil
 }
@@ -244,11 +264,14 @@ func (m *ResumeReq) Decode(r *Reader) error {
 }
 
 // NotifyReq wakes a process waiting on an eventcount whose Advance ran on
-// another node.
+// another node. With the race detector armed, VC piggybacks the
+// advancer's vector clock so the wakeup carries the happens-before edge;
+// detector-off it is empty and encodes as zero bytes.
 type NotifyReq struct {
 	PCBAddr uint64
 	ECAddr  uint64 // the eventcount, for cross-checking
 	Value   int64  // the eventcount value at advance time
+	VC      []uint64
 }
 
 func (*NotifyReq) Kind() Kind { return KindNotifyReq }
@@ -256,11 +279,27 @@ func (m *NotifyReq) Encode(b *Buffer) {
 	b.PutU64(m.PCBAddr)
 	b.PutU64(m.ECAddr)
 	b.PutI64(m.Value)
+	if len(m.VC) > 0 {
+		b.PutU32(uint32(len(m.VC)))
+		for _, v := range m.VC {
+			b.PutU64(v)
+		}
+	}
 }
 func (m *NotifyReq) Decode(r *Reader) error {
 	m.PCBAddr = r.U64()
 	m.ECAddr = r.U64()
 	m.Value = r.I64()
+	if r.Remaining() > 0 {
+		k := int(r.U32())
+		if k > r.Remaining()/8 {
+			return ErrShortBuffer
+		}
+		m.VC = make([]uint64, k)
+		for i := range m.VC {
+			m.VC[i] = r.U64()
+		}
+	}
 	return nil
 }
 

@@ -131,6 +131,13 @@ func (p *Proc) TestAndSet(addr uint64) bool {
 // ClearFlag atomically clears the byte at addr (lock release).
 func (p *Proc) ClearFlag(addr uint64) { p.inner.Node().SVM().Clear(p.inner, addr) }
 
+// MarkAtomic declares [addr, addr+n) a benign shared atomic to the race
+// detector: unordered accesses to these words are intentional program
+// idiom (a monotonic bound read without its lock, a statistics cell) and
+// must not be reported. No-op with the detector off. Use sparingly — it
+// silences real races on those words too.
+func (p *Proc) MarkAtomic(addr, n uint64) { p.inner.Node().SVM().RaceMarkSync(addr, n) }
+
 // --- Computation charging -------------------------------------------------
 
 // Compute charges d of private-memory computation to the current node.
@@ -324,7 +331,12 @@ type Lock struct {
 
 // NewLock allocates a shared lock.
 func (p *Proc) NewLock() *Lock {
-	return &Lock{addr: p.MustMalloc(1)}
+	addr := p.MustMalloc(1)
+	// The lock byte is synchronization state; Acquire's plain-read probe
+	// precedes the first test-and-set (which would otherwise be what
+	// marks it), so mark it eagerly.
+	p.inner.Node().SVM().RaceMarkSync(addr, 1)
+	return &Lock{addr: addr}
 }
 
 // AttachLock wraps a lock byte at a known address.
