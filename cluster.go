@@ -10,6 +10,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/drace"
+	"repro/internal/metrics"
 	"repro/internal/mmu"
 	"repro/internal/proc"
 	"repro/internal/remop"
@@ -32,8 +33,9 @@ type Cluster struct {
 	sts     []*stats.Node
 	allocs  []*alloc.Service
 	procs   *proc.Cluster
-	inj     *chaos.Injector // nil unless Config.Chaos was set
-	rd      *drace.Detector // nil unless Config.DRace was set
+	inj     *chaos.Injector    // nil unless Config.Chaos was set
+	rd      *drace.Detector    // nil unless Config.DRace was set
+	prof    *metrics.Collector // nil unless Config.Profile was set
 	elapsed sim.Time
 	ran     bool
 
@@ -55,6 +57,12 @@ func New(cfg Config) *Cluster {
 		// fast paths are kept call-free (//ivy:hotpath), so arming the
 		// detector routes every access through a hooked tail. Virtual time
 		// is identical either way (see Config.DisableTLB).
+		cfg.DisableTLB = true
+	}
+	if cfg.Profile {
+		// Same mechanism as DRace: the profiler's dirty-word hooks live on
+		// the checked store tails, so profiling disables the TLBs to route
+		// every write through a hooked tail. Virtual time is unchanged.
 		cfg.DisableTLB = true
 	}
 	eng := sim.New(cfg.Seed)
@@ -107,6 +115,9 @@ func New(cfg Config) *Cluster {
 	if cfg.DRace {
 		c.armDRace()
 	}
+	if cfg.Profile {
+		c.armProfile()
+	}
 	if cfg.Chaos != nil {
 		c.armChaos(*cfg.Chaos)
 	}
@@ -128,6 +139,41 @@ func (c *Cluster) armDRace() {
 	c.procs.SetRaceDetector(c.rd)
 	if c.tr != nil {
 		c.rd.SetTraceCollector(c.tr)
+	}
+}
+
+// armProfile builds the shared coherence profiler and installs it on
+// every SVM. One collector serves the whole cluster: page indices are
+// global, and the dirty-word map follows a page's ownership from node to
+// node (serveWrite flushes it at each hand-off).
+func (c *Cluster) armProfile() {
+	c.prof = metrics.NewCollector(c.svms[0].Base(), uint64(c.cfg.PageSize),
+		c.cfg.SharedPages, func() int64 { return int64(c.eng.Now().Duration()) })
+	for _, svm := range c.svms {
+		svm.SetProfiler(c.prof)
+	}
+}
+
+// MetricsSnapshot is the page-heat/false-sharing profile, re-exported
+// from the metrics plane.
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricsSnapshot returns the page-level coherence profile accumulated
+// so far, or nil when Config.Profile is off. Deterministic per
+// (seed, config).
+func (c *Cluster) MetricsSnapshot() *MetricsSnapshot {
+	if c.prof == nil {
+		return nil
+	}
+	return c.prof.Snapshot()
+}
+
+// LabelRegion attaches name to the address range [base, base+size) in
+// the profiler, so ivyprof reports can attribute pages to application
+// arrays. A no-op when Config.Profile is off.
+func (c *Cluster) LabelRegion(name string, base, size uint64) {
+	if c.prof != nil {
+		c.prof.LabelRegion(name, base, size)
 	}
 }
 
@@ -388,6 +434,17 @@ func (c *Cluster) Snapshot() ClusterStats {
 	out.Packets = ns.Packets
 	out.NetBytes = ns.Bytes
 	out.WireBusy = ns.WireBusy
+	out.Kinds = make([]stats.KindCount, len(ns.Kinds))
+	for i, k := range ns.Kinds {
+		out.Kinds[i] = stats.KindCount{Packets: k.Packets, Bytes: k.Bytes, Drops: k.Drops}
+	}
+	for _, nk := range c.nw.NodeKinds() {
+		row := make([]stats.KindCount, len(nk))
+		for i, k := range nk {
+			row[i] = stats.KindCount{Packets: k.Packets, Bytes: k.Bytes, Drops: k.Drops}
+		}
+		out.NodeKinds = append(out.NodeKinds, row)
+	}
 	return out
 }
 

@@ -55,6 +55,9 @@ type Report struct {
 	GoOS       string   `json:"goos"`
 	GoArch     string   `json:"goarch"`
 	Benchmarks []Result `json:"benchmarks"`
+	// Metrics embeds an ivyprof JSON export (-metrics file), tying a
+	// benchmark snapshot to the coherence profile it was taken under.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 func parseLine(line string) (Result, bool) {
@@ -102,6 +105,7 @@ func main() {
 	baseline := flag.String("baseline", "", "compare stdin against this snapshot instead of writing JSON")
 	match := flag.String("match", "", "with -baseline: compare only benchmarks whose name contains this substring")
 	tol := flag.Float64("tolerance", 0.35, "with -baseline: allowed fractional ns/op regression")
+	metricsFile := flag.String("metrics", "", "embed this ivyprof JSON export in the report's metrics field")
 	flag.Parse()
 
 	rep := Report{
@@ -126,6 +130,18 @@ func main() {
 	}
 	if *baseline != "" {
 		os.Exit(compare(*baseline, *match, *tol, rep.Benchmarks))
+	}
+	if *metricsFile != "" {
+		raw, err := os.ReadFile(*metricsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: not valid JSON\n", *metricsFile)
+			os.Exit(1)
+		}
+		rep.Metrics = json.RawMessage(raw)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (results are deterministic per seed)")
 	chaos := flag.Bool("chaos", false, "run the chaos sequential-consistency checker (all managers x 3 seeds) and exit")
 	drace := cli.DRaceFlag()
+	profile := cli.ProfileFlag()
 	var tf cli.TraceFlags
 	tf.Register()
 	flag.Parse()
@@ -36,6 +37,7 @@ func main() {
 	}
 	harness.SetSeed(*seed)
 	harness.SetDRace(*drace)
+	harness.SetProfile(*profile)
 	tc, closeTrace, err := tf.Config()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ivybench: %v\n", err)
@@ -74,6 +76,9 @@ func main() {
 		}
 		for _, c := range curves {
 			harness.RenderCurve(os.Stdout, c)
+			if *profile {
+				harness.RenderProfile(os.Stdout, c, 5)
+			}
 		}
 		return nil
 	})
@@ -85,6 +90,9 @@ func main() {
 			return err
 		}
 		harness.RenderCurve(os.Stdout, c)
+		if *profile {
+			harness.RenderProfile(os.Stdout, c, 5)
+		}
 		return nil
 	})
 
@@ -106,6 +114,9 @@ func main() {
 		}
 		for _, c := range curves {
 			harness.RenderCurve(os.Stdout, c)
+			if *profile {
+				harness.RenderProfile(os.Stdout, c, 5)
+			}
 		}
 		return nil
 	})

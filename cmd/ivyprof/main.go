@@ -1,0 +1,123 @@
+// Command ivyprof is the coherence profiler: it runs one of the six
+// benchmark programs with Config.Profile armed and renders where the
+// coherence traffic went — which pages ping-pong between owners, how
+// much of each transferred page was actually written (false sharing),
+// and how the wire traffic splits by message kind and node.
+//
+// Usage:
+//
+//	ivyprof -app matmul -procs 8 -manager dynamic          # ranked report
+//	ivyprof -app tsp -procs 8 -format prom -o tsp.prom     # Prometheus text
+//	ivyprof -app tsp -procs 8 -format json -o a.json       # machine-readable
+//	ivyprof -diff a.json b.json                            # compare two runs
+//
+// Output is deterministic: the same (app, manager, procs, seed) produces
+// bit-identical bytes in every format (CI asserts this).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	ivy "repro"
+	"repro/internal/apps"
+	"repro/internal/cli"
+	"repro/internal/metrics"
+)
+
+func main() {
+	app := flag.String("app", "matmul", "benchmark: jacobi, pde3d, tsp, matmul, dotprod, sort")
+	procs := flag.Int("procs", 8, "processors (1..64)")
+	manager := flag.String("manager", "dynamic", "manager: dynamic, centralized, fixed, broadcast, basic")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	pageSize := flag.Int("pagesize", 1024, "page size in bytes (power of two)")
+	top := flag.Int("top", 10, "pages in the ranked report")
+	format := flag.String("format", "report", "output: report, prom, json")
+	out := flag.String("o", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two JSON exports: ivyprof -diff a.json b.json")
+	flag.Parse()
+
+	if err := run(*app, *procs, *manager, *seed, *pageSize, *top, *format, *out, *diff, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "ivyprof: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, procs int, manager string, seed int64, pageSize, top int, format, out string, diff bool, args []string) error {
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if diff {
+		if len(args) != 2 {
+			return fmt.Errorf("-diff needs exactly two JSON export files")
+		}
+		a, err := readExport(args[0])
+		if err != nil {
+			return err
+		}
+		b, err := readExport(args[1])
+		if err != nil {
+			return err
+		}
+		a.WriteDiff(w, b)
+		return nil
+	}
+
+	alg, err := cli.ParseManager(manager)
+	if err != nil {
+		return err
+	}
+	runner, err := apps.Lookup(app)
+	if err != nil {
+		return err
+	}
+	res, err := runner(ivy.Config{
+		Processors: procs,
+		PageSize:   pageSize,
+		Algorithm:  alg,
+		Seed:       seed,
+		Profile:    true,
+	})
+	if err != nil {
+		return err
+	}
+
+	export := metrics.Build(metrics.Meta{
+		App:       app,
+		Manager:   manager,
+		Procs:     procs,
+		Seed:      seed,
+		PageSize:  uint64(pageSize),
+		ElapsedUS: res.Elapsed.Microseconds(),
+	}, res.Stats, res.Metrics)
+
+	switch format {
+	case "report":
+		export.WriteTopPages(w, top)
+		return nil
+	case "prom":
+		return export.WriteProm(w)
+	case "json":
+		return export.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown format %q (want report, prom, or json)", format)
+	}
+}
+
+func readExport(path string) (*metrics.ExportData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return metrics.ReadJSON(f)
+}

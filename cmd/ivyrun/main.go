@@ -30,29 +30,21 @@ func main() {
 	procs := flag.Int("procs", 4, "processors (1..64)")
 	pageSize := flag.Int("pagesize", 1024, "page size in bytes (power of two)")
 	memPages := flag.Int("mempages", 0, "physical frames per node (0 = unconstrained)")
-	algorithm := flag.String("algorithm", "dynamic", "manager: dynamic, centralized, fixed, broadcast")
+	algorithm := flag.String("algorithm", "dynamic", "manager: dynamic, centralized, fixed, broadcast, basic")
 	loss := flag.Float64("loss", 0, "packet loss probability (exercises retransmission)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	sysmode := flag.Bool("sysmode", false, "use the projected system-mode cost model (paper's conclusion)")
 	size := flag.Int("n", 0, "problem size override (0 = app default)")
 	iters := flag.Int("iters", 0, "iteration override for iterative apps (0 = default)")
 	drace := cli.DRaceFlag()
+	profile := cli.ProfileFlag()
 	var tf cli.TraceFlags
 	tf.Register()
 	flag.Parse()
 
-	var alg ivy.Algorithm
-	switch *algorithm {
-	case "dynamic":
-		alg = ivy.DynamicDistributed
-	case "centralized":
-		alg = ivy.ImprovedCentralized
-	case "fixed":
-		alg = ivy.FixedDistributed
-	case "broadcast":
-		alg = ivy.BroadcastManager
-	default:
-		fmt.Fprintf(os.Stderr, "ivyrun: unknown algorithm %q\n", *algorithm)
+	alg, err := cli.ParseManager(*algorithm)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivyrun: %v\n", err)
 		os.Exit(2)
 	}
 	cfg := ivy.Config{
@@ -63,6 +55,7 @@ func main() {
 		LossProbability: *loss,
 		Seed:            *seed,
 		DRace:           *drace,
+		Profile:         *profile,
 	}
 	if *sysmode {
 		costs := ivy.SystemMode1988()
@@ -161,4 +154,8 @@ func main() {
 		fmt.Printf(" n%d=%d", i, n.Faults())
 	}
 	fmt.Println()
+	if *profile && res.Metrics != nil {
+		fmt.Printf("\nprofiled pages %d touched (run cmd/ivyprof for the ranked contention report)\n",
+			len(res.Metrics.Pages))
+	}
 }

@@ -149,6 +149,17 @@ type Config struct {
 	// costs one predicted branch per access.
 	DRace bool
 
+	// Profile arms the coherence profiler (see internal/metrics and
+	// DESIGN.md §11): per-page fault/invalidation/transfer counters,
+	// ownership ping-pong intervals, and the dirty-word maps that
+	// quantify false sharing, exposed through MetricsSnapshot and
+	// cmd/ivyprof. Like DRace it implies DisableTLB so every write
+	// reaches an instrumented checked tail; virtual time, fault counts,
+	// and message counts are unchanged (profiling adds zero wire bytes —
+	// see PROTOCOL.md). False — the default — costs one predicted branch
+	// per instrument point.
+	Profile bool
+
 	// Horizon bounds a Run in virtual time (default 1000 hours); hitting
 	// it makes Run fail, which is how runaway programs surface.
 	Horizon time.Duration

@@ -103,6 +103,9 @@ type Result struct {
 	// Check is an application-defined scalar (residual, checksum, tour
 	// cost) that must agree across processor counts.
 	Check float64
+	// Metrics is the page-heat/false-sharing profile, nil unless the
+	// run's Config.Profile was set.
+	Metrics *ivy.MetricsSnapshot
 }
 
 // splitRange partitions [0,n) into parts pieces; piece i is [lo,hi).

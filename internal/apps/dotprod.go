@@ -30,6 +30,9 @@ func RunDotProd(cfg ivy.Config, par DotProdParams) (Result, error) {
 		x := AllocF64(p, n)
 		y := AllocF64(p, n)
 		partial := AllocF64(p, procs*16) // slots 128 bytes apart to limit false sharing
+		p.LabelRegion("x", x.Base, 8*uint64(n))
+		p.LabelRegion("y", y.Base, 8*uint64(n))
+		p.LabelRegion("partial", partial.Base, 8*uint64(procs*16))
 
 		// Initialize through the bulk accessor: one access check per page
 		// instead of one per element (the compute charge is identical).
@@ -92,5 +95,6 @@ func RunDotProd(cfg ivy.Config, par DotProdParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }

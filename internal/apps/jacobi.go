@@ -36,6 +36,10 @@ func RunJacobi(cfg ivy.Config, par JacobiParams) (Result, error) {
 		b := AllocF64(p, n)
 		x := AllocF64(p, n)
 		xn := AllocF64(p, n)
+		p.LabelRegion("A", a.Base, 8*uint64(n*n))
+		p.LabelRegion("b", b.Base, 8*uint64(n))
+		p.LabelRegion("x", x.Base, 8*uint64(n))
+		p.LabelRegion("xnew", xn.Base, 8*uint64(n))
 
 		// Initialization on the contact processor, as in the paper's
 		// runs: a diagonally dominant system with a known solution of
@@ -130,5 +134,6 @@ func RunJacobi(cfg ivy.Config, par JacobiParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }

@@ -35,6 +35,9 @@ func RunMatmul(cfg ivy.Config, par MatmulParams) (Result, error) {
 		a := AllocF64(p, n*n)
 		b := AllocF64(p, n*n)
 		cm := AllocF64(p, n*n)
+		p.LabelRegion("A", a.Base, 8*uint64(n*n))
+		p.LabelRegion("B", b.Base, 8*uint64(n*n))
+		p.LabelRegion("C", cm.Base, 8*uint64(n*n))
 
 		// B and C are stored column-major so that the column partitioning
 		// gives each worker contiguous pages of both; A replicates to
@@ -131,5 +134,6 @@ func RunMatmul(cfg ivy.Config, par MatmulParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }

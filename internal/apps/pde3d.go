@@ -52,6 +52,9 @@ func RunPDE3D(cfg ivy.Config, par PDE3DParams) (Result, error) {
 		u := AllocF32(p, pts)
 		un := AllocF32(p, pts)
 		f := AllocF32(p, pts)
+		p.LabelRegion("u", u.Base, 4*uint64(pts))
+		p.LabelRegion("unew", un.Base, 4*uint64(pts))
+		p.LabelRegion("f", f.Base, 4*uint64(pts))
 
 		// Initialization on one processor only, as the paper notes for
 		// the super-linear experiment ("the program initializes its data
@@ -149,5 +152,6 @@ func RunPDE3D(cfg ivy.Config, par PDE3DParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }

@@ -1,0 +1,42 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	ivy "repro"
+)
+
+// Runner runs one benchmark with its default (paper) workload under the
+// supplied cluster config.
+type Runner func(cfg ivy.Config) (Result, error)
+
+// runners maps benchmark names to default-workload runners. The map is
+// never iterated for output — Names sorts — so lookup order cannot leak
+// into anything deterministic.
+var runners = map[string]Runner{
+	"matmul":  func(cfg ivy.Config) (Result, error) { return RunMatmul(cfg, DefaultMatmul()) },
+	"jacobi":  func(cfg ivy.Config) (Result, error) { return RunJacobi(cfg, DefaultJacobi()) },
+	"pde3d":   func(cfg ivy.Config) (Result, error) { return RunPDE3D(cfg, DefaultPDE3D()) },
+	"tsp":     func(cfg ivy.Config) (Result, error) { return RunTSP(cfg, DefaultTSP()) },
+	"dotprod": func(cfg ivy.Config) (Result, error) { return RunDotProd(cfg, DefaultDotProd()) },
+	"sort":    func(cfg ivy.Config) (Result, error) { return RunSortMerge(cfg, DefaultSort()) },
+}
+
+// Lookup resolves a benchmark by name. The error lists the valid names.
+func Lookup(name string) (Runner, error) {
+	if r, ok := runners[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("apps: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Names returns the registered benchmark names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(runners))
+	for name := range runners {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -43,6 +43,7 @@ func RunSortMerge(cfg ivy.Config, par SortParams) (Result, error) {
 	var sortedOK bool
 	err := cluster.Run(func(p *ivy.Proc) {
 		vec := p.MustMalloc(uint64(par.Records * recordSize))
+		p.LabelRegion("records", vec, uint64(par.Records*recordSize))
 		keyAt := func(i int) uint64 { return vec + uint64(i*recordSize) }
 		payAt := func(i int) uint64 { return keyAt(i) + 8 }
 
@@ -158,6 +159,7 @@ func RunSortMerge(cfg ivy.Config, par SortParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }
 

@@ -74,6 +74,7 @@ func RunTSP(cfg ivy.Config, par TSPParams) (Result, error) {
 	err := cluster.Run(func(p *ivy.Proc) {
 		// Shared state: weight matrix, upper bound, pool.
 		w := AllocF64(p, n*n)
+		p.LabelRegion("weights", w.Base, 8*uint64(n*n))
 		for i := 0; i < n*n; i++ {
 			w.Write(p, i, graph.W[i])
 		}
@@ -82,6 +83,7 @@ func RunTSP(cfg ivy.Config, par TSPParams) (Result, error) {
 		// value page separately.
 		ubLock := p.NewLock()
 		ubAddr := ubLock.Addr() + 8
+		p.LabelRegion("bound", ubLock.Addr(), 16)
 		// Workers read the bound without its lock (readUB): the bound only
 		// ever decreases, so a stale read merely prunes less — the paper's
 		// programs rely on the same relaxed idiom. Declare it to the race
@@ -93,6 +95,7 @@ func RunTSP(cfg ivy.Config, par TSPParams) (Result, error) {
 		p.LocalOps(n * n)
 
 		poolBase := p.MustMalloc(uint64(16 + len(seeds)*tspEntrySize))
+		p.LabelRegion("pool", poolBase, uint64(16+len(seeds)*tspEntrySize))
 		topAddr := poolBase // u32 count of entries
 		entries := poolBase + 16
 		poolLock := p.NewLock()
@@ -130,6 +133,7 @@ func RunTSP(cfg ivy.Config, par TSPParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }
 

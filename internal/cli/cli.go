@@ -35,6 +35,33 @@ func DRaceFlag() *bool {
 		"arm the happens-before data-race detector (virtual time and message counts unchanged)")
 }
 
+// ProfileFlag installs -profile on the default flag set. The returned
+// bool goes into Config.Profile; the page-heat/false-sharing snapshot
+// then comes back through Cluster.MetricsSnapshot (rendered by ivyprof).
+func ProfileFlag() *bool {
+	return flag.Bool("profile", false,
+		"arm the coherence profiler: page heat, ping-pong intervals, dirty-word maps (virtual time unchanged)")
+}
+
+// ParseManager maps a manager algorithm name to its Algorithm value.
+// Valid names: dynamic, centralized, fixed, broadcast, basic.
+func ParseManager(name string) (ivy.Algorithm, error) {
+	switch name {
+	case "dynamic":
+		return ivy.DynamicDistributed, nil
+	case "centralized":
+		return ivy.ImprovedCentralized, nil
+	case "fixed":
+		return ivy.FixedDistributed, nil
+	case "broadcast":
+		return ivy.BroadcastManager, nil
+	case "basic":
+		return ivy.BasicCentralized, nil
+	default:
+		return 0, fmt.Errorf("unknown manager %q (want dynamic, centralized, fixed, broadcast, or basic)", name)
+	}
+}
+
 // Enabled reports whether any tracing option was set.
 func (t *TraceFlags) Enabled() bool { return t.Out != "" || t.Sample > 0 }
 

@@ -32,6 +32,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/drace"
 	"repro/internal/memfs"
+	"repro/internal/metrics"
 	"repro/internal/mmu"
 	"repro/internal/model"
 	"repro/internal/remop"
@@ -238,6 +239,11 @@ type SVM struct {
 	// rd is the cluster's race detector, nil (the default) when drace is
 	// off. Every hook guards on it, so the disabled cost is one branch.
 	rd *drace.Detector
+
+	// prof is the cluster's shared coherence profiler, nil (the default)
+	// when Config.Profile is off. Same discipline as rd: every hook
+	// guards on it, so the disabled cost is one branch.
+	prof *metrics.Collector
 
 	// invalDrop is a chaos-test-only hook: when set and it returns true,
 	// handleInvalidate acks WITHOUT invalidating the local copy — a

@@ -61,6 +61,7 @@ func (s *SVM) WriteBytes(ctx Ctx, addr uint64, data []byte) {
 		}
 		frame := s.frameForWrite(ctx, p)
 		s.raceWrite(ctx, a, uint64(chunk))
+		s.profWrite(a, uint64(chunk))
 		copy(frame[po:po+chunk], data[off:off+chunk])
 		if words := (chunk - 1) / 8; words > 0 {
 			ctx.Charge(time.Duration(words) * s.costs.MemRef)
@@ -119,6 +120,7 @@ func (s *SVM) WriteU64s(ctx Ctx, addr uint64, src []uint64) {
 		p, po, words := s.alignedWords(addr+uint64(off)*8, len(src)-off)
 		frame := s.frameForWrite(ctx, p)
 		s.raceWrite(ctx, addr+uint64(off)*8, uint64(words)*8)
+		s.profWrite(addr+uint64(off)*8, uint64(words)*8)
 		for i := 0; i < words; i++ {
 			binary.LittleEndian.PutUint64(frame[po+8*i:], src[off+i])
 		}
@@ -153,6 +155,7 @@ func (s *SVM) WriteF64s(ctx Ctx, addr uint64, src []float64) {
 		p, po, words := s.alignedWords(addr+uint64(off)*8, len(src)-off)
 		frame := s.frameForWrite(ctx, p)
 		s.raceWrite(ctx, addr+uint64(off)*8, uint64(words)*8)
+		s.profWrite(addr+uint64(off)*8, uint64(words)*8)
 		for i := 0; i < words; i++ {
 			binary.LittleEndian.PutUint64(frame[po+8*i:], math.Float64bits(src[off+i]))
 		}
@@ -199,6 +202,7 @@ func (s *SVM) CopyWords(ctx Ctx, dst, src uint64, n int) {
 		}
 		s.raceRead(ctx, src+uint64(off)*8, uint64(words)*8)
 		s.raceWrite(ctx, dst+uint64(off)*8, uint64(words)*8)
+		s.profWrite(dst+uint64(off)*8, uint64(words)*8)
 		copy(dstFrame[dpo:dpo+8*words], srcFrame[spo:spo+8*words])
 		if words > 1 {
 			ctx.Charge(time.Duration(2*(words-1)) * s.costs.MemRef)
@@ -246,6 +250,7 @@ func (s *SVM) copyWordsBackward(ctx Ctx, dst, src uint64, n int) {
 		}
 		s.raceRead(ctx, src+8*uint64(end-words), uint64(words)*8)
 		s.raceWrite(ctx, dst+8*uint64(end-words), uint64(words)*8)
+		s.profWrite(dst+8*uint64(end-words), uint64(words)*8)
 		copy(dstFrame[dpo:dpo+8*words], srcFrame[spo:spo+8*words])
 		if words > 1 {
 			ctx.Charge(time.Duration(2*(words-1)) * s.costs.MemRef)
@@ -427,6 +432,7 @@ func (s *SVM) writeU64Checked(ctx Ctx, t *TLB, addr uint64, v uint64) {
 	p, po := s.scalarSpan(addr, 8)
 	frame := s.frameForWriteChecked(ctx, t, p)
 	s.raceWrite(ctx, addr, 8)
+	s.profWrite(addr, 8)
 	binary.LittleEndian.PutUint64(frame[po:], v)
 }
 
@@ -487,6 +493,7 @@ func (s *SVM) WriteU32(ctx Ctx, addr uint64, v uint32) {
 	p, po := s.scalarSpan(addr, 4)
 	frame := s.frameForWriteChecked(ctx, t, p)
 	s.raceWrite(ctx, addr, 4)
+	s.profWrite(addr, 4)
 	binary.LittleEndian.PutUint32(frame[po:], v)
 }
 
@@ -520,6 +527,7 @@ func (s *SVM) WriteU8(ctx Ctx, addr uint64, v uint8) {
 	p, po := s.scalarSpan(addr, 1)
 	frame := s.frameForWriteChecked(ctx, t, p)
 	s.raceWrite(ctx, addr, 1)
+	s.profWrite(addr, 1)
 	frame[po] = v
 }
 
@@ -539,6 +547,7 @@ func (s *SVM) TestAndSet(ctx Ctx, addr uint64) bool {
 		return false
 	}
 	frame[po] = 1
+	s.profWrite(addr, 1)
 	// A successful test-and-set is a lock acquire: order this process
 	// after every release (Clear) of the same lock so far.
 	s.RaceAcquire(ctx, addr)
@@ -551,6 +560,7 @@ func (s *SVM) Clear(ctx Ctx, addr uint64) {
 	ctx.Charge(s.costs.TestAndSet) // before the frame, as in TestAndSet
 	frame := s.frameForWrite(ctx, p)
 	frame[po] = 0
+	s.profWrite(addr, 1)
 	// Clearing the byte is the lock release: publish everything this
 	// process did while holding it.
 	s.RaceRelease(ctx, addr)
@@ -580,10 +590,11 @@ func (s *SVM) frameForReadChecked(ctx Ctx, t *TLB, p mmu.PageID) []byte {
 	e := s.table.Entry(p)
 	if e.Access != mmu.AccessNil {
 		if fr := s.pool.GetFrame(p); fr != nil {
-			// With the detector armed the TLBs are never refilled
-			// (Config.DRace forces DisableTLB, so t is nil anyway): every
-			// access must reach a hooked checked tail.
-			if t != nil && s.rd == nil {
+			// With the race detector or profiler armed the TLBs are never
+			// refilled (Config.DRace and Config.Profile force DisableTLB,
+			// so t is nil anyway): every access must reach a hooked
+			// checked tail.
+			if t != nil && s.rd == nil && s.prof == nil {
 				t.fill(s, p, e, fr, e.Access)
 			}
 			return fr.Data()
@@ -614,7 +625,7 @@ func (s *SVM) frameForWriteChecked(ctx Ctx, t *TLB, p mmu.PageID) []byte {
 			if !e.Dirty {
 				e.Dirty = true
 			}
-			if t != nil && s.rd == nil { // see frameForReadChecked
+			if t != nil && s.rd == nil && s.prof == nil { // see frameForReadChecked
 				t.fill(s, p, e, fr, mmu.AccessWrite)
 			}
 			return fr.Data()
@@ -706,6 +717,7 @@ func (s *SVM) upgradeFault(ctx Ctx, p mmu.PageID) {
 	defer s.trace("upgradeFault", p)
 	f := ctx.Fiber()
 	s.st.SVM.LocalUpgrades++
+	s.profUpgrade(p)
 	start := s.eng.Now()
 	span, prevTrc := s.beginFault(f, trace.PhaseUpgrade, p)
 	chargeCPU(f, s.cpu, s.costs.FaultTrap)
@@ -722,6 +734,7 @@ func (s *SVM) readFault(ctx Ctx, p mmu.PageID) {
 	defer s.trace("readFault<", p)
 	f := ctx.Fiber()
 	s.st.SVM.ReadFaults++
+	s.profReadFault(p)
 	start := s.eng.Now()
 	span, prevTrc := s.beginFault(f, trace.PhaseReadFault, p)
 	chargeCPU(f, s.cpu, s.costs.FaultTrap)
@@ -770,6 +783,7 @@ func (s *SVM) writeFault(ctx Ctx, p mmu.PageID) {
 	defer s.trace("writeFault<", p)
 	f := ctx.Fiber()
 	s.st.SVM.WriteFaults++
+	s.profWriteFault(p)
 	start := s.eng.Now()
 	span, prevTrc := s.beginFault(f, trace.PhaseWriteFault, p)
 	chargeCPU(f, s.cpu, s.costs.FaultTrap)
@@ -822,6 +836,7 @@ func (s *SVM) invalidate(f *sim.Fiber, p mmu.PageID, cs mmu.Copyset) {
 	var buf [wire.MaxNodes]ring.NodeID
 	members := cs.AppendTo(buf[:0])
 	s.st.SVM.InvalSent += uint64(len(members))
+	s.profInvalSent(p, len(members))
 	start := s.eng.Now()
 	span, prevTrc := s.beginPhase(f, trace.PhaseInval, p, "")
 	req := &wire.InvalidateReq{Page: uint32(p), NewOwner: uint16(s.node)}
@@ -900,6 +915,7 @@ func (s *SVM) serveRead(f *sim.Fiber, origin ring.NodeID, p mmu.PageID) *wire.Pa
 	}
 	frame := s.residentFrame(f, p)
 	e.Copyset = e.Copyset.Add(origin)
+	s.profCopysetAdd(p)
 	// The owner keeps the page with read access — downgraded from write,
 	// or restored after residentFrame paged an evicted page back in.
 	// Cached write-mode translations must not survive the downgrade.
@@ -930,6 +946,7 @@ func (s *SVM) serveWrite(f *sim.Fiber, origin ring.NodeID, p mmu.PageID) *wire.P
 		return nil
 	}
 	data := s.takeData(f, p)
+	s.profTransfer(p) // ownership leaves this node: flush its dirty map
 	cs := e.Copyset
 	e.Copyset = 0
 	e.IsOwner = false
@@ -967,6 +984,7 @@ func (s *SVM) handleInvalidate(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 	}
 	e := s.table.Entry(p)
 	s.st.SVM.InvalReceived++
+	s.profInvalRecv(p)
 	if s.invalDrop != nil && s.invalDrop(p) {
 		// Chaos-test hook: acknowledge WITHOUT revoking the copy. This
 		// breaks the single-writer invariant on purpose so the

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/mmu"
+)
+
+// Coherence-profiling hooks. With Config.Profile armed, the fault
+// handlers and checked store tails report page-level events to the
+// cluster's shared metrics.Collector through these wrappers. The same
+// discipline as the race hooks in race.go applies: every hook is
+// nil-guarded, so with profiling off (the default) each is one branch —
+// no call, no allocation — and the profiler-off behavior is identical to
+// the pre-profiler code. Arming the profiler disables the software TLBs
+// (see Config.Profile), which keeps the //ivy:hotpath fast paths
+// call-free and routes every write through a hooked checked tail, where
+// the dirty-word map is maintained.
+//
+// None of the hooks touch virtual time or the wire: profiling changes
+// neither message counts nor timing (PROTOCOL.md pins this).
+
+// SetProfiler arms (or, with nil, disarms) coherence profiling on this
+// node. The collector is shared by every node in the cluster.
+func (s *SVM) SetProfiler(c *metrics.Collector) { s.prof = c }
+
+// Profiler returns the armed collector, or nil.
+func (s *SVM) Profiler() *metrics.Collector { return s.prof }
+
+// profReadFault records a read fault on page p.
+func (s *SVM) profReadFault(p mmu.PageID) {
+	if s.prof != nil {
+		s.prof.ReadFault(int(p))
+	}
+}
+
+// profWriteFault records a page-absent write fault on page p.
+func (s *SVM) profWriteFault(p mmu.PageID) {
+	if s.prof != nil {
+		s.prof.WriteFault(int(p))
+	}
+}
+
+// profUpgrade records a write-upgrade fault on page p.
+func (s *SVM) profUpgrade(p mmu.PageID) {
+	if s.prof != nil {
+		s.prof.Upgrade(int(p))
+	}
+}
+
+// profInvalSent records n invalidation requests fanned out for page p.
+func (s *SVM) profInvalSent(p mmu.PageID, n int) {
+	if s.prof != nil {
+		s.prof.InvalSent(int(p), n)
+	}
+}
+
+// profInvalRecv records an invalidation arriving for a local copy of p.
+func (s *SVM) profInvalRecv(p mmu.PageID) {
+	if s.prof != nil {
+		s.prof.InvalRecv(int(p))
+	}
+}
+
+// profCopysetAdd records a reader joining page p's copyset.
+func (s *SVM) profCopysetAdd(p mmu.PageID) {
+	if s.prof != nil {
+		s.prof.CopysetAdd(int(p))
+	}
+}
+
+// profTransfer records this node relinquishing ownership of page p: the
+// collector samples and clears the page's dirty-word map and accounts
+// the ping-pong interval. Must be called exactly at the ownership
+// hand-off choke point (serveWrite).
+func (s *SVM) profTransfer(p mmu.PageID) {
+	if s.prof != nil {
+		s.prof.Transfer(int(p))
+	}
+}
+
+// profWrite marks [addr, addr+n) dirty in the owner's current write
+// interval. Sits on the checked store tails next to raceWrite.
+func (s *SVM) profWrite(addr, n uint64) {
+	if s.prof != nil {
+		s.prof.Write(addr, n)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	ivy "repro"
 	"repro/internal/apps"
+	"repro/internal/metrics"
 )
 
 // Point is one processor count on a speedup curve.
@@ -31,6 +32,9 @@ type Point struct {
 type Curve struct {
 	Name   string
 	Points []Point
+	// Metrics is the page-heat profile of the highest processor count's
+	// run, nil unless SetProfile armed the profiler.
+	Metrics *ivy.MetricsSnapshot
 }
 
 // Speedup computes a curve by running fn at each processor count in
@@ -58,6 +62,9 @@ func Speedup(name string, procs []int, fn func(p int) (apps.Result, error)) (Cur
 			Packets: res.Stats.Packets,
 			DiskIO:  tot.DiskTransfers(),
 		})
+		if res.Metrics != nil {
+			c.Metrics = res.Metrics // keep the last (highest) count's profile
+		}
 	}
 	return c, nil
 }
@@ -93,9 +100,17 @@ var draceOn bool
 // cluster.
 func SetDRace(v bool) { draceOn = v }
 
+// profileOn arms the coherence profiler on every cluster the experiments
+// build (cmd/ivybench's -profile flag); each curve then carries the
+// page-heat snapshot of its largest run.
+var profileOn bool
+
+// SetProfile arms the coherence profiler for every experiment cluster.
+func SetProfile(v bool) { profileOn = v }
+
 // baseConfig is the common experiment configuration.
 func baseConfig(procs int) ivy.Config {
-	cfg := ivy.Config{Processors: procs, Seed: seed, DRace: draceOn}
+	cfg := ivy.Config{Processors: procs, Seed: seed, DRace: draceOn, Profile: profileOn}
 	if pendingTrace != nil {
 		cfg.Trace = pendingTrace
 		pendingTrace = nil
@@ -279,6 +294,29 @@ func RenderSpeedupChart(w io.Writer, c Curve) {
 		fmt.Fprintf(w, "  |%s\n", string(r))
 	}
 	fmt.Fprintf(w, "  +%s procs 1..%d\n\n", strings.Repeat("-", width), maxP)
+}
+
+// RenderProfile writes the top-n contended pages of a curve's profile
+// (from its largest run), or nothing when profiling was off.
+func RenderProfile(w io.Writer, c Curve, n int) {
+	if c.Metrics == nil {
+		return
+	}
+	e := metrics.ExportData{Prof: c.Metrics}
+	top := e.TopPages(n)
+	fmt.Fprintf(w, "  top contended pages (largest run):\n")
+	fmt.Fprintf(w, "  %5s %-10s %7s %7s %9s %7s\n",
+		"page", "region", "rdflt", "wrflt", "transfers", "dirty%")
+	for _, pg := range top {
+		region := pg.Region
+		if region == "" {
+			region = "-"
+		}
+		fmt.Fprintf(w, "  %5d %-10s %7d %7d %9d %6.1f%%\n",
+			pg.Page, region, pg.ReadFaults, pg.WriteFaults, pg.Transfers,
+			pg.DirtyDensity*100)
+	}
+	fmt.Fprintln(w)
 }
 
 // RenderTable1 prints the disk-transfer table in the paper's layout.

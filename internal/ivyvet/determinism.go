@@ -16,7 +16,7 @@ import (
 var determinismScope = map[string]bool{
 	"core": true, "sim": true, "ring": true, "remop": true, "disk": true,
 	"memfs": true, "ec": true, "proc": true, "alloc": true, "apps": true,
-	"harness": true, "chaos": true, "drace": true,
+	"harness": true, "chaos": true, "drace": true, "metrics": true,
 }
 
 // forbiddenTimeFuncs are the package time functions that read or wait on

@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// KindCount is one message kind's wire accounting with its name resolved,
+// the exported form of the ring's per-kind counters.
+type KindCount struct {
+	Kind    string `json:"kind"`
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+	Drops   uint64 `json:"drops"`
+}
+
+// NodeProfile is one node's slice of the export: its fault counters and
+// (as transmitter) its per-kind traffic.
+type NodeProfile struct {
+	Node          int         `json:"node"`
+	ReadFaults    uint64      `json:"read_faults"`
+	WriteFaults   uint64      `json:"write_faults"`
+	LocalUpgrades uint64      `json:"local_upgrades"`
+	InvalSent     uint64      `json:"inval_sent"`
+	InvalRecv     uint64      `json:"inval_recv"`
+	PagesSent     uint64      `json:"pages_sent"`
+	PagesRecv     uint64      `json:"pages_recv"`
+	FaultStallUS  int64       `json:"fault_stall_us"`
+	Kinds         []KindCount `json:"kinds,omitempty"`
+}
+
+// ExportData is the self-describing profile ivyprof writes and diffs:
+// run metadata, cluster traffic split by kind and node, and the page
+// heat/false-sharing snapshot when profiling was armed.
+type ExportData struct {
+	App       string `json:"app"`
+	Manager   string `json:"manager"`
+	Procs     int    `json:"procs"`
+	Seed      int64  `json:"seed"`
+	PageSize  uint64 `json:"page_size"`
+	ElapsedUS int64  `json:"elapsed_us"` // virtual run time
+
+	Packets  uint64 `json:"packets"`
+	NetBytes uint64 `json:"net_bytes"`
+
+	Kinds []KindCount   `json:"kinds,omitempty"`
+	Nodes []NodeProfile `json:"nodes,omitempty"`
+
+	Prof *Snapshot `json:"prof,omitempty"`
+}
+
+// Meta names a run for Build.
+type Meta struct {
+	App       string
+	Manager   string
+	Procs     int
+	Seed      int64
+	PageSize  uint64
+	ElapsedUS int64
+}
+
+// Build assembles an export from a cluster snapshot plus the page
+// profile (prof may be nil when Config.Profile was off). Zero-valued
+// kinds are elided so the export carries only kinds that moved.
+func Build(m Meta, cl stats.Cluster, prof *Snapshot) *ExportData {
+	e := &ExportData{
+		App:       m.App,
+		Manager:   m.Manager,
+		Procs:     m.Procs,
+		Seed:      m.Seed,
+		PageSize:  m.PageSize,
+		ElapsedUS: m.ElapsedUS,
+		Packets:   cl.Packets,
+		NetBytes:  cl.NetBytes,
+		Kinds:     kindCounts(cl.Kinds),
+		Prof:      prof,
+	}
+	for i, n := range cl.Nodes {
+		np := NodeProfile{
+			Node:          i,
+			ReadFaults:    n.SVM.ReadFaults,
+			WriteFaults:   n.SVM.WriteFaults,
+			LocalUpgrades: n.SVM.LocalUpgrades,
+			InvalSent:     n.SVM.InvalSent,
+			InvalRecv:     n.SVM.InvalReceived,
+			PagesSent:     n.SVM.PagesSent,
+			PagesRecv:     n.SVM.PagesReceived,
+			FaultStallUS:  n.SVM.FaultStall.Microseconds(),
+		}
+		if i < len(cl.NodeKinds) {
+			np.Kinds = kindCounts(cl.NodeKinds[i])
+		}
+		e.Nodes = append(e.Nodes, np)
+	}
+	return e
+}
+
+// kindCounts converts the snapshot's positional kind counters into the
+// named, zero-elided export form. Order follows the Kind namespace, so
+// it is fixed and deterministic.
+func kindCounts(ks []stats.KindCount) []KindCount {
+	var out []KindCount
+	for i, k := range ks {
+		if k.Packets == 0 && k.Bytes == 0 && k.Drops == 0 {
+			continue
+		}
+		out = append(out, KindCount{
+			Kind:    wire.Kind(i).String(),
+			Packets: k.Packets,
+			Bytes:   k.Bytes,
+			Drops:   k.Drops,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the export as indented JSON.
+func (e *ExportData) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// ReadJSON parses an export written by WriteJSON.
+func ReadJSON(r io.Reader) (*ExportData, error) {
+	var e ExportData
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("metrics: parsing export: %w", err)
+	}
+	return &e, nil
+}
+
+// WriteProm writes the export in Prometheus text exposition format. The
+// output is built from fixed-order struct walks and pre-sorted slices —
+// never a map — so identical runs produce bit-identical bytes (pinned by
+// the golden test).
+func (e *ExportData) WriteProm(w io.Writer) error {
+	labels := fmt.Sprintf("app=%q,manager=%q,procs=\"%d\",seed=\"%d\"",
+		e.App, e.Manager, e.Procs, e.Seed)
+
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP ivy_run_elapsed_us Virtual run time in microseconds.\n")
+	p("# TYPE ivy_run_elapsed_us gauge\n")
+	p("ivy_run_elapsed_us{%s} %d\n", labels, e.ElapsedUS)
+
+	p("# HELP ivy_net_packets_total Packets transmitted on the ring.\n")
+	p("# TYPE ivy_net_packets_total counter\n")
+	p("ivy_net_packets_total{%s} %d\n", labels, e.Packets)
+
+	p("# HELP ivy_net_bytes_total Payload bytes transmitted on the ring.\n")
+	p("# TYPE ivy_net_bytes_total counter\n")
+	p("ivy_net_bytes_total{%s} %d\n", labels, e.NetBytes)
+
+	p("# HELP ivy_wire_packets_total Packets by message kind.\n")
+	p("# TYPE ivy_wire_packets_total counter\n")
+	for _, k := range e.Kinds {
+		p("ivy_wire_packets_total{%s,kind=%q} %d\n", labels, k.Kind, k.Packets)
+	}
+	p("# HELP ivy_wire_bytes_total Payload bytes by message kind.\n")
+	p("# TYPE ivy_wire_bytes_total counter\n")
+	for _, k := range e.Kinds {
+		p("ivy_wire_bytes_total{%s,kind=%q} %d\n", labels, k.Kind, k.Bytes)
+	}
+	p("# HELP ivy_wire_drops_total Delivery attempts lost, by message kind.\n")
+	p("# TYPE ivy_wire_drops_total counter\n")
+	for _, k := range e.Kinds {
+		if k.Drops == 0 {
+			continue
+		}
+		p("ivy_wire_drops_total{%s,kind=%q} %d\n", labels, k.Kind, k.Drops)
+	}
+
+	p("# HELP ivy_node_faults_total Coherence faults by node and type.\n")
+	p("# TYPE ivy_node_faults_total counter\n")
+	for _, n := range e.Nodes {
+		p("ivy_node_faults_total{%s,node=\"%d\",type=\"read\"} %d\n", labels, n.Node, n.ReadFaults)
+		p("ivy_node_faults_total{%s,node=\"%d\",type=\"write\"} %d\n", labels, n.Node, n.WriteFaults)
+		p("ivy_node_faults_total{%s,node=\"%d\",type=\"upgrade\"} %d\n", labels, n.Node, n.LocalUpgrades)
+	}
+	p("# HELP ivy_node_fault_stall_us_total Virtual time blocked in fault service, by node.\n")
+	p("# TYPE ivy_node_fault_stall_us_total counter\n")
+	for _, n := range e.Nodes {
+		p("ivy_node_fault_stall_us_total{%s,node=\"%d\"} %d\n", labels, n.Node, n.FaultStallUS)
+	}
+
+	if e.Prof != nil {
+		p("# HELP ivy_page_faults_total Faults by page and type (profile mode).\n")
+		p("# TYPE ivy_page_faults_total counter\n")
+		for _, pg := range e.Prof.Pages {
+			p("ivy_page_faults_total{%s,page=\"%d\",region=%q,type=\"read\"} %d\n",
+				labels, pg.Page, pg.Region, pg.ReadFaults)
+			p("ivy_page_faults_total{%s,page=\"%d\",region=%q,type=\"write\"} %d\n",
+				labels, pg.Page, pg.Region, pg.WriteFaults)
+		}
+		p("# HELP ivy_page_transfers_total Ownership migrations by page (profile mode).\n")
+		p("# TYPE ivy_page_transfers_total counter\n")
+		for _, pg := range e.Prof.Pages {
+			if pg.Transfers == 0 {
+				continue
+			}
+			p("ivy_page_transfers_total{%s,page=\"%d\",region=%q} %d\n",
+				labels, pg.Page, pg.Region, pg.Transfers)
+		}
+		p("# HELP ivy_page_dirty_density Mean fraction of page words dirtied per ownership hand-off.\n")
+		p("# TYPE ivy_page_dirty_density gauge\n")
+		for _, pg := range e.Prof.Pages {
+			if pg.Transfers == 0 {
+				continue
+			}
+			p("ivy_page_dirty_density{%s,page=\"%d\",region=%q} %.6f\n",
+				labels, pg.Page, pg.Region, pg.DirtyDensity)
+		}
+	}
+	return nil
+}
+
+// TopPages returns the n most contended pages of the profile, ranked by
+// ownership transfers, then total faults, then page id ascending — a
+// total order, so the ranking is deterministic.
+func (e *ExportData) TopPages(n int) []PageSnapshot {
+	if e.Prof == nil {
+		return nil
+	}
+	pages := append([]PageSnapshot(nil), e.Prof.Pages...)
+	sort.SliceStable(pages, func(i, j int) bool {
+		a, b := pages[i], pages[j]
+		if a.Transfers != b.Transfers {
+			return a.Transfers > b.Transfers
+		}
+		fa := a.ReadFaults + a.WriteFaults + a.Upgrades
+		fb := b.ReadFaults + b.WriteFaults + b.Upgrades
+		if fa != fb {
+			return fa > fb
+		}
+		return a.Page < b.Page
+	})
+	if n > 0 && len(pages) > n {
+		pages = pages[:n]
+	}
+	return pages
+}

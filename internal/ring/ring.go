@@ -17,6 +17,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // NodeID identifies a station on the ring. Valid IDs are 0..N-1.
@@ -67,6 +68,18 @@ type Injector interface {
 	Deliver(src, dst NodeID, broadcast bool, size int) Fault
 }
 
+// KindStats is the per-message-kind slice of the traffic accounting:
+// transmissions and payload bytes put on the wire, plus the per-receiver
+// delivery attempts the loss machinery (legacy loss, the chaos fault
+// plane, down stations) dropped. Indexed by wire.Kind — a fixed-size
+// array, never a map, so snapshots copy by value and iteration order is
+// the kind order itself.
+type KindStats struct {
+	Packets uint64 // transmissions of this kind (a broadcast counts once)
+	Bytes   uint64 // payload bytes transmitted
+	Drops   uint64 // per-receiver delivery attempts lost (incl. chaos-plane and down-station drops)
+}
+
 // Stats aggregates traffic counters for the whole ring. The per-receiver
 // accounting is exact: Attempts = Delivered + Dropped always, where
 // Attempts counts every delivery attempt (the per-receiver fan-out of
@@ -83,6 +96,12 @@ type Stats struct {
 	Delayed      uint64 // deliveries postponed by injected jitter
 	TxSuppressed uint64 // transmissions swallowed because the sender is down
 	WireBusy     time.Duration
+
+	// Kinds splits Packets/Bytes/Dropped by message kind (the first byte
+	// of every encoded envelope). Sum over Kinds matches the aggregate
+	// counters: every transmission and every drop lands in exactly one
+	// bucket (malformed payloads land in KindInvalid).
+	Kinds [wire.NumKinds]KindStats
 }
 
 // Network is the simulated token ring.
@@ -103,7 +122,12 @@ type Network struct {
 	busyUntil sim.Time
 
 	stats Stats
-	trc   *trace.Collector
+	// nodeKinds splits the per-kind accounting by sending station, so
+	// manager-protocol overhead is attributable to the node that put the
+	// bytes on the wire. Sized at New; drops stay cluster-wide (a drop
+	// belongs to a receiver attempt, not a sender).
+	nodeKinds [][wire.NumKinds]KindStats
+	trc       *trace.Collector
 }
 
 // New creates a ring with n stations using the given cost model. Stations
@@ -113,7 +137,12 @@ func New(eng *sim.Engine, costs model.Costs, n int) *Network {
 	if n <= 0 {
 		panic("ring: network needs at least one station")
 	}
-	return &Network{eng: eng, costs: costs, handlers: make([]Handler, n)}
+	return &Network{
+		eng:       eng,
+		costs:     costs,
+		handlers:  make([]Handler, n),
+		nodeKinds: make([][wire.NumKinds]KindStats, n),
+	}
 }
 
 // Size returns the number of stations.
@@ -155,6 +184,15 @@ func (nw *Network) nodeDown(id NodeID) bool {
 
 // Stats returns a snapshot of the traffic counters.
 func (nw *Network) Stats() Stats { return nw.stats }
+
+// NodeKinds returns a snapshot of the per-station per-kind transmission
+// counters, indexed [station][kind]. Drops are not split by station;
+// see Stats.Kinds for the cluster-wide drop accounting.
+func (nw *Network) NodeKinds() [][wire.NumKinds]KindStats {
+	out := make([][wire.NumKinds]KindStats, len(nw.nodeKinds))
+	copy(out, nw.nodeKinds)
+	return out
+}
 
 // SetTracer installs a span collector. Traced packets (Trace != 0) get a
 // wire span from transmission start to delivery.
@@ -199,6 +237,11 @@ func (nw *Network) Send(pkt *Packet) {
 	nw.stats.Packets++
 	nw.stats.Bytes += uint64(len(pkt.Payload))
 	nw.stats.WireBusy += wire
+	k := wireKind(pkt)
+	nw.stats.Kinds[k].Packets++
+	nw.stats.Kinds[k].Bytes += uint64(len(pkt.Payload))
+	nw.nodeKinds[pkt.Src][k].Packets++
+	nw.nodeKinds[pkt.Src][k].Bytes += uint64(len(pkt.Payload))
 
 	if nw.trc != nil && pkt.Trace != 0 {
 		dst := "broadcast"
@@ -257,6 +300,7 @@ func (nw *Network) deliverTo(id NodeID, pkt *Packet) {
 		case f.Drop:
 			nw.stats.Attempts++
 			nw.stats.Dropped++
+			nw.stats.Kinds[wireKind(pkt)].Drops++
 			return
 		case f.Delay > 0:
 			nw.stats.Delayed++
@@ -267,6 +311,12 @@ func (nw *Network) deliverTo(id NodeID, pkt *Packet) {
 	nw.finishDeliver(id, pkt)
 }
 
+// wireKind classifies a packet for the per-kind accounting: the kind is
+// the first payload byte (see wire.Envelope.MarshalInto), so no decode
+// is needed. A helper rather than an inline call because Send's local
+// `wire` duration shadows the package name.
+func wireKind(pkt *Packet) wire.Kind { return wire.KindOfPayload(pkt.Payload) }
+
 // finishDeliver lands one delivery attempt at its receiver: down-station
 // drop, then legacy independent loss, then the handler.
 func (nw *Network) finishDeliver(id NodeID, pkt *Packet) {
@@ -274,10 +324,12 @@ func (nw *Network) finishDeliver(id NodeID, pkt *Packet) {
 	if nw.nodeDown(id) {
 		nw.stats.DownDrops++
 		nw.stats.Dropped++
+		nw.stats.Kinds[wireKind(pkt)].Drops++
 		return
 	}
 	if nw.lossProb > 0 && nw.eng.Rand().Float64() < nw.lossProb {
 		nw.stats.Dropped++
+		nw.stats.Kinds[wireKind(pkt)].Drops++
 		return
 	}
 	h := nw.handlers[id]

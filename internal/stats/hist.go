@@ -21,6 +21,16 @@ type Hist struct {
 // bucketFor maps a duration to its bucket index using integer bit-length
 // arithmetic: values under 1µs land in the dedicated bucket 0, and a
 // value of n µs lands in bucket bits.Len64(n), i.e. [2^(i-1), 2^i) µs.
+//
+// The bits.Len64 contract this file depends on (and hist_test.go pins):
+// bits.Len64(n) is the minimal number of bits to represent n, so for
+// n >= 1 it returns floor(log2(n)) + 1. Hence 1µs maps to bucket 1
+// ([1µs, 2µs)), 2µs and 3µs to bucket 2, and in general bucket i >= 1
+// spans [2^(i-1), 2^i) µs. Observations at or past 2^24 µs (~16.8s) —
+// where bits.Len64 would exceed the array — saturate into the last
+// bucket, whose reported bound is then clamped to the observed maximum
+// by Quantile. Merge and Sub are bucket-wise and therefore only sound
+// between histograms built with this same mapping.
 func bucketFor(d time.Duration) int {
 	us := d.Microseconds()
 	if us < 1 {
@@ -79,6 +89,12 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	for i, n := range h.buckets {
 		seen += n
 		if seen >= target {
+			if i == len(h.buckets)-1 {
+				// The final bucket also absorbs overflow past its
+				// nominal 2^25µs bound, so the observed max is the
+				// only sound upper bound there.
+				return h.max
+			}
 			bound := bucketBound(i)
 			if bound > h.max {
 				bound = h.max

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileEmpty pins the empty-histogram contract: every quantile of
+// a histogram with no observations is zero.
+func TestQuantileEmpty(t *testing.T) {
+	var h Hist
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty hist = %v, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatalf("empty hist not zero-valued: mean=%v max=%v count=%d",
+			h.Mean(), h.Max(), h.Count())
+	}
+}
+
+// TestQuantileSingleSample: with one observation every quantile must
+// return that observation (the bucket bound is capped at the max).
+func TestQuantileSingleSample(t *testing.T) {
+	var h Hist
+	d := 37 * time.Microsecond
+	h.Record(d)
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := h.Quantile(q); got != d {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, d)
+		}
+	}
+}
+
+// TestQuantileZeroAndOne: q=0 is bumped to the first observation (target
+// 0 becomes 1), and q=1 returns an upper bound on the true maximum.
+func TestQuantileZeroAndOne(t *testing.T) {
+	var h Hist
+	lo, hi := 1*time.Microsecond, 1000*time.Microsecond
+	h.Record(lo)
+	h.Record(hi)
+	// q=0: target floor(0*2)=0 bumps to 1 → first bucket with mass,
+	// whose bound 2µs exceeds nothing observed below it but is a valid
+	// upper bound on the smallest sample.
+	if got := h.Quantile(0); got != 2*time.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want 2µs (bound of lo's bucket)", got)
+	}
+	if got := h.Quantile(1); got != hi {
+		t.Fatalf("Quantile(1) = %v, want %v (capped at max)", got, hi)
+	}
+}
+
+// TestQuantileMaxBucketOverflow: observations past the top bucket's
+// start (~16.8s = 2^24 µs) saturate into the final bucket rather than
+// indexing out of range, and quantiles stay capped at the observed max.
+func TestQuantileMaxBucketOverflow(t *testing.T) {
+	var h Hist
+	huge := 40 * time.Second // well past 2^24 µs
+	h.Record(huge)
+	h.Record(90 * time.Second)
+	if got := h.Quantile(1); got != 90*time.Second {
+		t.Fatalf("Quantile(1) = %v, want 90s (observed max)", got)
+	}
+	if got := h.Quantile(0.5); got != 90*time.Second {
+		// Both land in the saturated top bucket; its bound is clamped
+		// to the observed max.
+		t.Fatalf("Quantile(0.5) = %v, want 90s (clamped bucket bound)", got)
+	}
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+}
+
+// TestBucketForContract pins the bits.Len64 mapping documented on
+// bucketFor: sub-µs → 0, n µs → floor(log2(n))+1, saturating at the
+// last bucket.
+func TestBucketForContract(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{999 * time.Nanosecond, 0},
+		{1 * time.Microsecond, 1},
+		{2 * time.Microsecond, 2},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{1024 * time.Microsecond, 11},
+		{40 * time.Second, 25}, // saturates
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

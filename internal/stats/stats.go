@@ -132,6 +132,16 @@ func (n Node) DiskTransfers() uint64 { return n.DiskReads + n.DiskWrites }
 // upgrades and disk faults).
 func (n Node) Faults() uint64 { return n.SVM.ReadFaults + n.SVM.WriteFaults }
 
+// KindCount is one message kind's slice of the wire accounting, mirrored
+// from the ring's per-kind counters into the snapshot (index = the
+// wire.Kind value; names resolve through wire.Kind.String). Kept as a
+// local type so this package stays dependency-free.
+type KindCount struct {
+	Packets uint64
+	Bytes   uint64
+	Drops   uint64
+}
+
 // Cluster is a point-in-time view across all nodes.
 type Cluster struct {
 	Nodes []Node
@@ -140,6 +150,13 @@ type Cluster struct {
 	Packets  uint64
 	NetBytes uint64
 	WireBusy time.Duration
+
+	// Kinds splits the packet/byte/drop totals by message kind (indexed
+	// by wire.Kind); NodeKinds further splits transmissions by sending
+	// node. Both may be empty on snapshots taken before per-kind capture
+	// existed.
+	Kinds     []KindCount
+	NodeKinds [][]KindCount
 
 	// Remote-operation gauges summed over endpoints.
 	Forwards        uint64
@@ -195,6 +212,42 @@ func (c Cluster) SubChecked(o Cluster) (Cluster, error) {
 	} else {
 		out.Latency = c.Latency
 		out.NodeLatency = append([]Latency(nil), c.NodeLatency...)
+	}
+	// Per-kind counters subtract when both snapshots carry them; a pair
+	// where o predates per-kind capture keeps c's counters whole, like
+	// the latency histograms above.
+	if len(c.Kinds) == len(o.Kinds) && len(c.Kinds) > 0 {
+		out.Kinds = make([]KindCount, len(c.Kinds))
+		for i := range c.Kinds {
+			out.Kinds[i] = KindCount{
+				Packets: c.Kinds[i].Packets - o.Kinds[i].Packets,
+				Bytes:   c.Kinds[i].Bytes - o.Kinds[i].Bytes,
+				Drops:   c.Kinds[i].Drops - o.Kinds[i].Drops,
+			}
+		}
+	} else {
+		out.Kinds = append([]KindCount(nil), c.Kinds...)
+	}
+	if len(c.NodeKinds) == len(o.NodeKinds) && len(c.NodeKinds) > 0 {
+		out.NodeKinds = make([][]KindCount, len(c.NodeKinds))
+		for n := range c.NodeKinds {
+			cn, on := c.NodeKinds[n], o.NodeKinds[n]
+			if len(cn) != len(on) {
+				return Cluster{}, fmt.Errorf("stats: node %d kind-count mismatch: %d vs %d", n, len(cn), len(on))
+			}
+			out.NodeKinds[n] = make([]KindCount, len(cn))
+			for i := range cn {
+				out.NodeKinds[n][i] = KindCount{
+					Packets: cn[i].Packets - on[i].Packets,
+					Bytes:   cn[i].Bytes - on[i].Bytes,
+					Drops:   cn[i].Drops - on[i].Drops,
+				}
+			}
+		}
+	} else {
+		for _, nk := range c.NodeKinds {
+			out.NodeKinds = append(out.NodeKinds, append([]KindCount(nil), nk...))
+		}
 	}
 	return out, nil
 }

@@ -73,6 +73,26 @@ const (
 	kindMax
 )
 
+// NumKinds is the size of the kind namespace (one past the largest
+// valid Kind). Fixed-size per-kind counter arrays — the ring's traffic
+// accounting, the metrics exposition — index by Kind into [NumKinds]
+// arrays so the accounting never touches a map.
+const NumKinds = int(kindMax)
+
+// KindOfPayload returns the message kind of an encoded envelope without
+// decoding it: the kind is the first byte Marshal writes. Payloads too
+// short or out of range classify as KindInvalid, so the result is always
+// a safe index into a [NumKinds] array.
+func KindOfPayload(b []byte) Kind {
+	if len(b) == 0 {
+		return KindInvalid
+	}
+	if k := Kind(b[0]); k < kindMax {
+		return k
+	}
+	return KindInvalid
+}
+
 var kindNames = map[Kind]string{
 	KindReadFaultReq:   "ReadFaultReq",
 	KindWriteFaultReq:  "WriteFaultReq",

@@ -138,6 +138,12 @@ func (p *Proc) ClearFlag(addr uint64) { p.inner.Node().SVM().Clear(p.inner, addr
 // silences real races on those words too.
 func (p *Proc) MarkAtomic(addr, n uint64) { p.inner.Node().SVM().RaceMarkSync(addr, n) }
 
+// LabelRegion names the address range [addr, addr+size) for the
+// coherence profiler, so ivyprof reports attribute pages to application
+// arrays ("A", "result", ...) instead of bare page numbers. No-op with
+// profiling off.
+func (p *Proc) LabelRegion(name string, addr, size uint64) { p.c.LabelRegion(name, addr, size) }
+
 // --- Computation charging -------------------------------------------------
 
 // Compute charges d of private-memory computation to the current node.
