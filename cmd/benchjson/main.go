@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Result is one benchmark's parsed line.
@@ -195,6 +196,7 @@ func compare(baselinePath, match string, tol float64, got []Result) int {
 		}
 		if r.NsPerOp != nil && (prev.NsPerOp == nil || *r.NsPerOp < *prev.NsPerOp) {
 			prev.NsPerOp = r.NsPerOp
+			prev.Iterations = r.Iterations // keep the pairing for wall-clock
 		}
 		if r.AllocsPerOp != nil && (prev.AllocsPerOp == nil || *r.AllocsPerOp > *prev.AllocsPerOp) {
 			prev.AllocsPerOp = r.AllocsPerOp
@@ -218,8 +220,13 @@ func compare(baselinePath, match string, tol float64, got []Result) int {
 				verdict = "FAIL"
 				failures++
 			}
-			fmt.Printf("benchjson: %s: %.3f ns/op vs baseline %.3f (limit %.3f): %s\n",
-				name, *r.NsPerOp, *b.NsPerOp, limit, verdict)
+			// Wall-clock (iterations × ns/op) rides along for the perf
+			// trajectory — informational only, never gated: iteration
+			// counts depend on the runner, so wall is not comparable the
+			// way per-op time is.
+			fmt.Printf("benchjson: %s: %.3f ns/op vs baseline %.3f (limit %.3f): %s [wall %v vs %v]\n",
+				name, *r.NsPerOp, *b.NsPerOp, limit, verdict,
+				wallClock(r), wallClock(b))
 		}
 		if r.AllocsPerOp != nil && b.AllocsPerOp != nil && *r.AllocsPerOp > *b.AllocsPerOp {
 			fmt.Printf("benchjson: %s: %g allocs/op vs baseline %g: FAIL\n",
@@ -235,4 +242,13 @@ func compare(baselinePath, match string, tol float64, got []Result) int {
 		return 1
 	}
 	return 0
+}
+
+// wallClock reconstructs a benchmark's host wall time from its line:
+// iterations × ns/op, rounded for display.
+func wallClock(r Result) time.Duration {
+	if r.NsPerOp == nil {
+		return 0
+	}
+	return (time.Duration(float64(r.Iterations) * *r.NsPerOp)).Round(time.Millisecond)
 }

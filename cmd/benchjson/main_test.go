@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkSimulatorHotPath-8   \t135775386\t         8.529 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if r.Name != "BenchmarkSimulatorHotPath" {
+		t.Errorf("name = %q, -cpu suffix not stripped", r.Name)
+	}
+	if r.Iterations != 135775386 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+	if r.NsPerOp == nil || *r.NsPerOp != 8.529 {
+		t.Errorf("ns/op = %v", r.NsPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
+		t.Errorf("allocs/op = %v", r.AllocsPerOp)
+	}
+
+	r, ok = parseLine("BenchmarkFigure5Jacobi-8   \t      12\t  95000000 ns/op\t   123456 virt_us/op\t     1.95 speedup@2p")
+	if !ok {
+		t.Fatal("custom-metric line not recognized")
+	}
+	if r.Metrics["virt_us/op"] != 123456 || r.Metrics["speedup@2p"] != 1.95 {
+		t.Errorf("custom metrics = %v", r.Metrics)
+	}
+
+	for _, line := range []string{"PASS", "ok  \trepro\t1.2s", "goos: linux", ""} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-benchmark line %q parsed as a result", line)
+		}
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	ns := 8.5
+	r := Result{Iterations: 2_000_000_000, NsPerOp: &ns}
+	if got := wallClock(r); got != 17*time.Second {
+		t.Errorf("wallClock = %v, want 17s", got)
+	}
+	if got := wallClock(Result{Iterations: 5}); got != 0 {
+		t.Errorf("wallClock without ns/op = %v, want 0", got)
+	}
+}
+
+// writeBaseline commits a one-benchmark snapshot to a temp file.
+func writeBaseline(t *testing.T, name string, nsPerOp, allocs float64) string {
+	t.Helper()
+	rep := Report{Benchmarks: []Result{{
+		Name: name, Iterations: 1000, NsPerOp: &nsPerOp, AllocsPerOp: &allocs,
+	}}}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func results(name string, allocs float64, nsRuns ...float64) []Result {
+	var out []Result
+	for i := range nsRuns {
+		ns, al := nsRuns[i], allocs
+		out = append(out, Result{Name: name, Iterations: 1000, NsPerOp: &ns, AllocsPerOp: &al})
+	}
+	return out
+}
+
+func TestCompareGate(t *testing.T) {
+	base := writeBaseline(t, "BenchmarkHot", 10.0, 0)
+
+	// -count folding takes the minimum ns/op: one fast rep among slow
+	// ones passes the gate.
+	if code := compare(base, "", 0.35, results("BenchmarkHot", 0, 20.0, 9.5, 18.0)); code != 0 {
+		t.Errorf("min-folded pass: exit %d, want 0", code)
+	}
+	// Every rep over the limit fails.
+	if code := compare(base, "", 0.35, results("BenchmarkHot", 0, 15.0, 14.5)); code != 1 {
+		t.Errorf("regression: exit %d, want 1", code)
+	}
+	// An alloc appearing in any rep fails even with ns/op fine.
+	if code := compare(base, "", 0.35, results("BenchmarkHot", 2, 9.0)); code != 1 {
+		t.Errorf("alloc regression: exit %d, want 1", code)
+	}
+	// Nothing matching the filter is an error, not a silent pass.
+	if code := compare(base, "NoSuch", 0.35, results("BenchmarkHot", 0, 9.0)); code != 1 {
+		t.Errorf("empty match: exit %d, want 1", code)
+	}
+}

@@ -14,12 +14,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 	"time"
 
 	ivy "repro"
 	"repro/internal/chaos/check"
 	"repro/internal/cli"
 	"repro/internal/harness"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -27,15 +30,23 @@ func main() {
 	maxProcs := flag.Int("maxprocs", 8, "largest processor count in sweeps (1..64)")
 	seed := flag.Int64("seed", 1, "simulation seed (results are deterministic per seed)")
 	chaos := flag.Bool("chaos", false, "run the chaos sequential-consistency checker (all managers x 3 seeds) and exit")
+	parallelN := cli.ParallelFlag()
+	wall := flag.Bool("wall", false, "print host wall-clock per run after each speedup curve (nondeterministic; not part of the recorded outputs)")
+	scalingSmoke := flag.Bool("scalingsmoke", false, "run the chaos sweep at 1 and -parallel workers, assert identical results and (multi-core only) wall-clock speedup, and exit")
+	minSpeedup := flag.Float64("minspeedup", 2.0, "minimum wall-clock speedup -scalingsmoke demands of the parallel sweep (skipped on one core)")
 	drace := cli.DRaceFlag()
 	profile := cli.ProfileFlag()
 	var tf cli.TraceFlags
 	tf.Register()
 	flag.Parse()
+	if *scalingSmoke {
+		os.Exit(runScalingSmoke(*parallelN, *minSpeedup))
+	}
 	if *chaos {
-		os.Exit(runChaosSuite())
+		os.Exit(runChaosSuite(*parallelN))
 	}
 	harness.SetSeed(*seed)
+	harness.SetParallel(*parallelN)
 	harness.SetDRace(*drace)
 	harness.SetProfile(*profile)
 	tc, closeTrace, err := tf.Config()
@@ -79,6 +90,9 @@ func main() {
 			if *profile {
 				harness.RenderProfile(os.Stdout, c, 5)
 			}
+			if *wall {
+				harness.RenderWall(os.Stdout, c)
+			}
 		}
 		return nil
 	})
@@ -92,6 +106,9 @@ func main() {
 		harness.RenderCurve(os.Stdout, c)
 		if *profile {
 			harness.RenderProfile(os.Stdout, c, 5)
+		}
+		if *wall {
+			harness.RenderWall(os.Stdout, c)
 		}
 		return nil
 	})
@@ -116,6 +133,9 @@ func main() {
 			harness.RenderCurve(os.Stdout, c)
 			if *profile {
 				harness.RenderProfile(os.Stdout, c, 5)
+			}
+			if *wall {
+				harness.RenderWall(os.Stdout, c)
 			}
 		}
 		return nil
@@ -203,23 +223,24 @@ func main() {
 	}
 }
 
-// runChaosSuite drives the sequential-consistency checker over every
-// manager algorithm under the standard hostile schedule — duplication,
-// bounded reordering, independent and burst loss, and one crash/restart
-// of node 2 — for three seeds each. Exit status is the number of failing
-// runs; every run is deterministic, so a failure here reproduces with
-// `go test ./internal/chaos/check` at the same seed.
-func runChaosSuite() int {
-	algs := []struct {
-		name string
-		alg  ivy.Algorithm
-	}{
-		{"DynamicDistributed", ivy.DynamicDistributed},
-		{"ImprovedCentralized", ivy.ImprovedCentralized},
-		{"FixedDistributed", ivy.FixedDistributed},
-		{"BroadcastManager", ivy.BroadcastManager},
-		{"BasicCentralized", ivy.BasicCentralized},
-	}
+// chaosAlgs is the manager-algorithm order of the chaos suite; the
+// printed rows follow it regardless of which host worker finished first.
+var chaosAlgs = []struct {
+	name string
+	alg  ivy.Algorithm
+}{
+	{"DynamicDistributed", ivy.DynamicDistributed},
+	{"ImprovedCentralized", ivy.ImprovedCentralized},
+	{"FixedDistributed", ivy.FixedDistributed},
+	{"BroadcastManager", ivy.BroadcastManager},
+	{"BasicCentralized", ivy.BasicCentralized},
+}
+
+// chaosConfigs builds the suite's run matrix — every manager algorithm
+// for three seeds each, under the standard hostile schedule (duplication,
+// bounded reordering, independent + burst loss, one crash/restart of
+// node 2) scaled by opsScale (1 = the CI gate's workload).
+func chaosConfigs(opsScale int) []check.Config {
 	opts := &ivy.ChaosOpts{
 		DuplicateProbability: 0.05,
 		DuplicateDelay:       2 * time.Millisecond,
@@ -230,24 +251,40 @@ func runChaosSuite() int {
 		BurstLength:          4,
 		Crashes:              []ivy.NodeCrash{{Node: 2, At: 400 * time.Millisecond, Downtime: 900 * time.Millisecond}},
 	}
+	var cfgs []check.Config
+	for _, a := range chaosAlgs {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfgs = append(cfgs, check.Config{
+				Algorithm: a.alg, Seed: seed, Ops: 60 * opsScale, Chaos: opts,
+			})
+		}
+	}
+	return cfgs
+}
+
+// runChaosSuite drives the sequential-consistency checker over the
+// chaosConfigs matrix, spread across workers host cores (0 = one per
+// core). Exit status is the number of failing runs; every run is
+// deterministic regardless of worker count, so a failure here reproduces
+// with `go test ./internal/chaos/check` at the same seed.
+func runChaosSuite(workers int) int {
+	cfgs := chaosConfigs(1)
+	results := check.Sweep(workers, cfgs)
 	fmt.Println("=== Chaos: sequential-consistency checker under faults ===")
 	fmt.Printf("%-22s %4s  %-6s %9s %7s  %s\n", "manager", "seed", "result", "virtual", "events", "fault plane")
 	failures := 0
-	for _, a := range algs {
-		for seed := int64(1); seed <= 3; seed++ {
-			res := check.Run(check.Config{Algorithm: a.alg, Seed: seed, Chaos: opts})
-			verdict := "PASS"
-			if res.Failing() {
-				verdict = "FAIL"
-				failures++
-			}
-			cs := res.ChaosStats
-			fmt.Printf("%-22s %4d  %-6s %9s %7d  drop=%d dup=%d delay=%d crash=%d\n",
-				a.name, seed, verdict, res.Elapsed.Round(time.Millisecond), res.Events,
-				cs.Drops+cs.BurstDrops, cs.Dups, cs.Delays, cs.Crashes)
-			if res.Failing() {
-				fmt.Print(res.String())
-			}
+	for i, res := range results {
+		verdict := "PASS"
+		if res.Failing() {
+			verdict = "FAIL"
+			failures++
+		}
+		cs := res.ChaosStats
+		fmt.Printf("%-22s %4d  %-6s %9s %7d  drop=%d dup=%d delay=%d crash=%d\n",
+			chaosAlgs[i/3].name, cfgs[i].Seed, verdict, res.Elapsed.Round(time.Millisecond), res.Events,
+			cs.Drops+cs.BurstDrops, cs.Dups, cs.Delays, cs.Crashes)
+		if res.Failing() {
+			fmt.Print(res.String())
 		}
 	}
 	if failures > 0 {
@@ -256,6 +293,59 @@ func runChaosSuite() int {
 		fmt.Println("chaos: all runs sequentially consistent")
 	}
 	return failures
+}
+
+// runScalingSmoke is the CI sweep-scaling gate: run a heavier chaos
+// matrix fully sequentially and again at the requested worker count,
+// demand the two result sets be deep-equal (digests, virtual times,
+// violation lists — everything), and, when more than one core is
+// actually available, demand the parallel sweep beat minSpeedup in wall
+// clock. On a one-core host the equivalence check still runs and the
+// speedup assertion is skipped with a notice, so the smoke is meaningful
+// everywhere and the perf gate binds exactly where perf is possible.
+func runScalingSmoke(workers int, minSpeedup float64) int {
+	eff := parallel.Workers(workers)
+	if workers == 0 {
+		eff = parallel.Workers(4) // the CI job's canonical worker count
+	}
+	cfgs := chaosConfigs(25) // heavier ops so the sweep is worth timing
+	fmt.Printf("=== Sweep scaling smoke: %d runs, 1 vs %d workers ===\n", len(cfgs), eff)
+
+	seqStart := time.Now()
+	seq := check.Sweep(1, cfgs)
+	seqWall := time.Since(seqStart)
+	parStart := time.Now()
+	par := check.Sweep(eff, cfgs)
+	parWall := time.Since(parStart)
+
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			fmt.Printf("FAIL: run %d (alg=%v seed=%d) differs between 1 and %d workers:\n  seq: %v hist=%016x chaos=%016x\n  par: %v hist=%016x chaos=%016x\n",
+				i, cfgs[i].Algorithm, cfgs[i].Seed, eff,
+				seq[i], seq[i].HistoryDigest, seq[i].ChaosDigest,
+				par[i], par[i].HistoryDigest, par[i].ChaosDigest)
+			return 1
+		}
+		if seq[i].Failing() {
+			fmt.Printf("FAIL: run %d (alg=%v seed=%d) is not sequentially consistent: %v\n",
+				i, cfgs[i].Algorithm, cfgs[i].Seed, seq[i])
+			return 1
+		}
+	}
+	fmt.Printf("all %d runs bit-identical at both worker counts\n", len(seq))
+
+	speedup := float64(seqWall) / float64(parWall)
+	fmt.Printf("wall: sequential %v, %d workers %v (speedup %.2fx)\n",
+		seqWall.Round(time.Millisecond), eff, parWall.Round(time.Millisecond), speedup)
+	if runtime.GOMAXPROCS(0) == 1 || eff == 1 {
+		fmt.Println("single core available: speedup assertion skipped")
+		return 0
+	}
+	if speedup < minSpeedup {
+		fmt.Printf("FAIL: speedup %.2fx below required %.2fx\n", speedup, minSpeedup)
+		return 1
+	}
+	return 0
 }
 
 func min(a, b int) int {

@@ -7,12 +7,17 @@
 // Usage:
 //
 //	ivyprof -app matmul -procs 8 -manager dynamic          # ranked report
+//	ivyprof -app jacobi,tsp,sort -procs 8                  # several, in parallel
+//	ivyprof -app all -procs 8                              # the whole suite
 //	ivyprof -app tsp -procs 8 -format prom -o tsp.prom     # Prometheus text
 //	ivyprof -app tsp -procs 8 -format json -o a.json       # machine-readable
 //	ivyprof -diff a.json b.json                            # compare two runs
 //
 // Output is deterministic: the same (app, manager, procs, seed) produces
-// bit-identical bytes in every format (CI asserts this).
+// bit-identical bytes in every format (CI asserts this). A multi-app
+// report spreads the runs across host cores (-parallel) and still prints
+// the sections in the order the apps were named — worker scheduling
+// never reaches the output.
 package main
 
 import (
@@ -20,15 +25,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	ivy "repro"
 	"repro/internal/apps"
 	"repro/internal/cli"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 func main() {
-	app := flag.String("app", "matmul", "benchmark: jacobi, pde3d, tsp, matmul, dotprod, sort")
+	app := flag.String("app", "matmul", "benchmark (jacobi, pde3d, tsp, matmul, dotprod, sort), a comma list, or \"all\"")
 	procs := flag.Int("procs", 8, "processors (1..64)")
 	manager := flag.String("manager", "dynamic", "manager: dynamic, centralized, fixed, broadcast, basic")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -37,15 +44,16 @@ func main() {
 	format := flag.String("format", "report", "output: report, prom, json")
 	out := flag.String("o", "", "output file (default stdout)")
 	diff := flag.Bool("diff", false, "compare two JSON exports: ivyprof -diff a.json b.json")
+	parallelN := cli.ParallelFlag()
 	flag.Parse()
 
-	if err := run(*app, *procs, *manager, *seed, *pageSize, *top, *format, *out, *diff, flag.Args()); err != nil {
+	if err := run(*app, *procs, *manager, *seed, *pageSize, *top, *format, *out, *diff, *parallelN, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "ivyprof: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, procs int, manager string, seed int64, pageSize, top int, format, out string, diff bool, args []string) error {
+func run(app string, procs int, manager string, seed int64, pageSize, top int, format, out string, diff bool, parallelN int, args []string) error {
 	w := io.Writer(os.Stdout)
 	if out != "" {
 		f, err := os.Create(out)
@@ -76,30 +84,65 @@ func run(app string, procs int, manager string, seed int64, pageSize, top int, f
 	if err != nil {
 		return err
 	}
-	runner, err := apps.Lookup(app)
+	names := strings.Split(app, ",")
+	if app == "all" {
+		names = apps.Names()
+	}
+
+	profile := func(name string) (*metrics.ExportData, error) {
+		runner, err := apps.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runner(ivy.Config{
+			Processors: procs,
+			PageSize:   pageSize,
+			Algorithm:  alg,
+			Seed:       seed,
+			Profile:    true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return metrics.Build(metrics.Meta{
+			App:       name,
+			Manager:   manager,
+			Procs:     procs,
+			Seed:      seed,
+			PageSize:  uint64(pageSize),
+			ElapsedUS: res.Elapsed.Microseconds(),
+		}, res.Stats, res.Metrics), nil
+	}
+
+	if len(names) > 1 {
+		// Multi-app mode: independent clusters across host cores, report
+		// sections rendered in the named order.
+		if format != "report" {
+			return fmt.Errorf("format %q profiles one app at a time; the multi-app mode renders reports", format)
+		}
+		type runOut struct {
+			export *metrics.ExportData
+			err    error
+		}
+		outs := parallel.Map(parallel.Workers(parallelN), len(names), func(i int) runOut {
+			e, err := profile(names[i])
+			return runOut{export: e, err: err}
+		})
+		for i, o := range outs {
+			if o.err != nil {
+				return fmt.Errorf("%s: %w", names[i], o.err)
+			}
+			fmt.Fprintf(w, "=== %s (%s, %d procs, seed %d) ===\n", names[i], manager, procs, seed)
+			o.export.WriteTopPages(w, top)
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+
+	export, err := profile(names[0])
 	if err != nil {
 		return err
 	}
-	res, err := runner(ivy.Config{
-		Processors: procs,
-		PageSize:   pageSize,
-		Algorithm:  alg,
-		Seed:       seed,
-		Profile:    true,
-	})
-	if err != nil {
-		return err
-	}
-
-	export := metrics.Build(metrics.Meta{
-		App:       app,
-		Manager:   manager,
-		Procs:     procs,
-		Seed:      seed,
-		PageSize:  uint64(pageSize),
-		ElapsedUS: res.Elapsed.Microseconds(),
-	}, res.Stats, res.Metrics)
-
 	switch format {
 	case "report":
 		export.WriteTopPages(w, top)

@@ -3,6 +3,8 @@ package ivy
 import (
 	"testing"
 	"time"
+
+	"repro/internal/parallel"
 )
 
 // plantedRace is the racedemo bug in miniature: a writer fills data
@@ -45,21 +47,25 @@ func plantedRace(seed int64) []RaceReport {
 // planted race, and to produce the identical report list — same words,
 // same threads, same virtual timestamps, same order — on every run of
 // the same (seed, config). Three runs guard against any map-order or
-// allocation-order leak into reporting.
+// allocation-order leak into reporting; running them concurrently on
+// separate host cores additionally pins that detector state is
+// per-cluster (a process-global detector table would cross-talk here).
 func TestDRacePlantedRaceDeterministic(t *testing.T) {
 	const seed = 7
-	first := plantedRace(seed)
+	runs := parallel.Map(parallel.Workers(0), 3, func(int) []RaceReport {
+		return plantedRace(seed)
+	})
+	first := runs[0]
 	if len(first) == 0 {
 		t.Fatal("planted race not detected")
 	}
-	for run := 2; run <= 3; run++ {
-		got := plantedRace(seed)
+	for run, got := range runs[1:] {
 		if len(got) != len(first) {
-			t.Fatalf("run %d: %d reports, first run had %d", run, len(got), len(first))
+			t.Fatalf("run %d: %d reports, first run had %d", run+2, len(got), len(first))
 		}
 		for i := range got {
 			if got[i] != first[i] {
-				t.Fatalf("run %d report %d differs:\n  first: %v\n  this:  %v", run, i, got[i], first[i])
+				t.Fatalf("run %d report %d differs:\n  first: %v\n  this:  %v", run+2, i, got[i], first[i])
 			}
 		}
 	}

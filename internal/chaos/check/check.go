@@ -22,6 +22,7 @@ import (
 	"time"
 
 	ivy "repro"
+	"repro/internal/parallel"
 )
 
 // Config describes one checker run. Zero fields take defaults.
@@ -335,4 +336,17 @@ func Shrink(cfg Config) (Config, Result) {
 		cfg, res = best, bestRes
 	}
 	return cfg, res
+}
+
+// Sweep executes each configuration as an independent checker run,
+// spread across up to workers host cores (workers < 1 means one per
+// core), and returns the results in configuration order. Every run
+// builds its own cluster and engine, so runs share no mutable state and
+// each Result — virtual times, digests, violation lists — is
+// bit-identical to what Run(cfgs[i]) produces sequentially; only the
+// wall-clock time changes. TestSweepMatchesSequential pins this.
+func Sweep(workers int, cfgs []Config) []Result {
+	return parallel.Map(parallel.Workers(workers), len(cfgs), func(i int) Result {
+		return Run(cfgs[i])
+	})
 }

@@ -43,6 +43,18 @@ func ProfileFlag() *bool {
 		"arm the coherence profiler: page heat, ping-pong intervals, dirty-word maps (virtual time unchanged)")
 }
 
+// ParallelFlag installs -parallel on the default flag set: the number of
+// independent simulation runs to execute concurrently across host cores.
+// 0 (the default) means one worker per core (GOMAXPROCS); 1 forces fully
+// sequential execution. Results are bit-identical at every setting —
+// each run is its own engine — only wall-clock time changes; pass the
+// value through parallel.Workers (or harness.SetParallel / check.Sweep,
+// which do) to resolve the default.
+func ParallelFlag() *int {
+	return flag.Int("parallel", 0,
+		"independent runs to execute concurrently (0 = one per host core, 1 = sequential; results are identical at any setting)")
+}
+
 // ParseManager maps a manager algorithm name to its Algorithm value.
 // Valid names: dynamic, centralized, fixed, broadcast, basic.
 func ParseManager(name string) (ivy.Algorithm, error) {

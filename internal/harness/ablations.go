@@ -7,6 +7,7 @@ import (
 
 	ivy "repro"
 	"repro/internal/apps"
+	"repro/internal/parallel"
 )
 
 // --- Ablation A: manager algorithms ---------------------------------------
@@ -25,26 +26,37 @@ type ManagerRow struct {
 // halo pages change owners every iteration) under each manager algorithm
 // at the given processor count.
 func AblationManagers(procs int) ([]ManagerRow, error) {
-	var rows []ManagerRow
-	for _, alg := range []ivy.Algorithm{
+	algs := []ivy.Algorithm{
 		ivy.DynamicDistributed, ivy.ImprovedCentralized, ivy.BasicCentralized,
 		ivy.FixedDistributed, ivy.BroadcastManager,
-	} {
+	}
+	type out struct {
+		row ManagerRow
+		err error
+	}
+	outs := parallel.Map(curveWorkers(), len(algs), func(i int) out {
 		cfg := baseConfig(procs)
-		cfg.Algorithm = alg
+		cfg.Algorithm = algs[i]
 		res, err := apps.RunPDE3D(cfg, apps.DefaultPDE3D())
 		if err != nil {
-			return nil, fmt.Errorf("harness: managers ablation (%v): %w", alg, err)
+			return out{err: fmt.Errorf("harness: managers ablation (%v): %w", algs[i], err)}
 		}
 		tot := res.Stats.Total()
-		rows = append(rows, ManagerRow{
-			Algorithm: alg,
+		return out{row: ManagerRow{
+			Algorithm: algs[i],
 			Elapsed:   res.Elapsed,
 			Faults:    tot.Faults(),
 			Forwards:  res.Stats.Forwards,
 			Packets:   res.Stats.Packets,
 			Bytes:     res.Stats.NetBytes,
-		})
+		}}
+	})
+	rows := make([]ManagerRow, 0, len(outs))
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		rows = append(rows, o.row)
 	}
 	return rows, nil
 }
@@ -75,25 +87,36 @@ type PageSizeRow struct {
 // contention it warns about), on a locality-friendly workload (Jacobi)
 // and a movement-heavy one (dot product).
 func AblationPageSize(procs int, sizes []int) ([]PageSizeRow, error) {
-	var rows []PageSizeRow
 	jp := apps.JacobiParams{N: 256, Iters: 12, Seed: 7}
 	dp := apps.DotProdParams{N: 32768, Seed: 9}
-	for _, ps := range sizes {
+	type out struct {
+		row PageSizeRow
+		err error
+	}
+	outs := parallel.Map(curveWorkers(), len(sizes), func(i int) out {
+		ps := sizes[i]
 		cfg := baseConfig(procs)
 		cfg.PageSize = ps
 		cfg.SharedPages = 32 * 1024 * 1024 / ps // constant 32 MB space
 		jr, err := apps.RunJacobi(cfg, jp)
 		if err != nil {
-			return nil, fmt.Errorf("harness: page-size %d jacobi: %w", ps, err)
+			return out{err: fmt.Errorf("harness: page-size %d jacobi: %w", ps, err)}
 		}
 		cfg2 := baseConfig(procs)
 		cfg2.PageSize = ps
 		cfg2.SharedPages = 32 * 1024 * 1024 / ps
 		dr, err := apps.RunDotProd(cfg2, dp)
 		if err != nil {
-			return nil, fmt.Errorf("harness: page-size %d dotprod: %w", ps, err)
+			return out{err: fmt.Errorf("harness: page-size %d dotprod: %w", ps, err)}
 		}
-		rows = append(rows, PageSizeRow{PageSize: ps, Jacobi: jr.Elapsed, DotProd: dr.Elapsed})
+		return out{row: PageSizeRow{PageSize: ps, Jacobi: jr.Elapsed, DotProd: dr.Elapsed}}
+	})
+	rows := make([]PageSizeRow, 0, len(outs))
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		rows = append(rows, o.row)
 	}
 	return rows, nil
 }
@@ -276,8 +299,12 @@ func AblationSensitivity() ([]SensitivityRow, error) {
 			c.DiskIO *= 2
 		}},
 	}
-	var rows []SensitivityRow
-	for _, v := range variants {
+	type out struct {
+		row SensitivityRow
+		err error
+	}
+	outs := parallel.Map(curveWorkers(), len(variants), func(i int) out {
+		v := variants[i]
 		costs := ivy.Default1988()
 		v.mut(&costs)
 		mkCfg := func(p int) ivy.Config {
@@ -294,39 +321,46 @@ func AblationSensitivity() ([]SensitivityRow, error) {
 		}
 		f1, err := fig4(1)
 		if err != nil {
-			return nil, err
+			return out{err: err}
 		}
 		f2, err := fig4(2)
 		if err != nil {
-			return nil, err
+			return out{err: err}
 		}
 
 		jp := apps.JacobiParams{N: 512, Iters: 16, Seed: 7}
 		j1, err := apps.RunJacobi(mkCfg(1), jp)
 		if err != nil {
-			return nil, err
+			return out{err: err}
 		}
 		j4, err := apps.RunJacobi(mkCfg(4), jp)
 		if err != nil {
-			return nil, err
+			return out{err: err}
 		}
 
 		dp := apps.DefaultDotProd()
 		d1, err := apps.RunDotProd(mkCfg(1), dp)
 		if err != nil {
-			return nil, err
+			return out{err: err}
 		}
 		d4, err := apps.RunDotProd(mkCfg(4), dp)
 		if err != nil {
-			return nil, err
+			return out{err: err}
 		}
 
-		rows = append(rows, SensitivityRow{
+		return out{row: SensitivityRow{
 			Variant:           v.name,
 			Fig4SpeedupAt2:    float64(f1.Elapsed) / float64(f2.Elapsed),
 			JacobiSpeedupAt4:  float64(j1.Elapsed) / float64(j4.Elapsed),
 			DotProdSpeedupAt4: float64(d1.Elapsed) / float64(d4.Elapsed),
-		})
+		}}
+	})
+	rows := make([]SensitivityRow, 0, len(outs))
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		rows = append(rows, o.row)
 	}
 	return rows, nil
 }

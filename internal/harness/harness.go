@@ -16,6 +16,7 @@ import (
 	ivy "repro"
 	"repro/internal/apps"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 // Point is one processor count on a speedup curve.
@@ -26,6 +27,14 @@ type Point struct {
 	Faults  uint64  // coherence faults across the cluster
 	Packets uint64
 	DiskIO  uint64
+
+	// Wall is the host wall-clock time the run took — the simulator's
+	// own cost, not the simulated system's. It is the one
+	// nondeterministic field on a Point (everything above is virtual
+	// and bit-reproducible); comparisons between runs must exclude it,
+	// and it never appears in the paper-style renders — RenderWall
+	// prints it separately for perf-trajectory tracking.
+	Wall time.Duration
 }
 
 // Curve is a named speedup series.
@@ -38,32 +47,50 @@ type Curve struct {
 }
 
 // Speedup computes a curve by running fn at each processor count in
-// procs (which must start at 1, the baseline).
+// procs (which must start at 1, the baseline). The per-count runs are
+// independent clusters, so they execute across host cores (see
+// SetParallel) and fold into the curve in procs order: every virtual
+// field of the result is bit-identical to a sequential sweep, only the
+// Wall fields and the wall-clock total change.
 func Speedup(name string, procs []int, fn func(p int) (apps.Result, error)) (Curve, error) {
 	if len(procs) == 0 || procs[0] != 1 {
 		return Curve{}, fmt.Errorf("harness: %s: processor list must start at 1", name)
 	}
+	type pointRun struct {
+		res  apps.Result
+		err  error
+		wall time.Duration
+	}
+	runs := parallel.Map(curveWorkers(), len(procs), func(i int) pointRun {
+		pr, wall := parallel.Timed(func() pointRun {
+			res, err := fn(procs[i])
+			return pointRun{res: res, err: err}
+		})
+		pr.wall = wall
+		return pr
+	})
 	c := Curve{Name: name}
 	var t1 time.Duration
-	for _, p := range procs {
-		res, err := fn(p)
-		if err != nil {
-			return Curve{}, fmt.Errorf("harness: %s at %d procs: %w", name, p, err)
+	for i, r := range runs {
+		p := procs[i]
+		if r.err != nil {
+			return Curve{}, fmt.Errorf("harness: %s at %d procs: %w", name, p, r.err)
 		}
 		if p == 1 {
-			t1 = res.Elapsed
+			t1 = r.res.Elapsed
 		}
-		tot := res.Stats.Total()
+		tot := r.res.Stats.Total()
 		c.Points = append(c.Points, Point{
 			Procs:   p,
-			Elapsed: res.Elapsed,
-			Speedup: float64(t1) / float64(res.Elapsed),
+			Elapsed: r.res.Elapsed,
+			Speedup: float64(t1) / float64(r.res.Elapsed),
 			Faults:  tot.Faults(),
-			Packets: res.Stats.Packets,
+			Packets: r.res.Stats.Packets,
 			DiskIO:  tot.DiskTransfers(),
+			Wall:    r.wall,
 		})
-		if res.Metrics != nil {
-			c.Metrics = res.Metrics // keep the last (highest) count's profile
+		if r.res.Metrics != nil {
+			c.Metrics = r.res.Metrics // keep the last (highest) count's profile
 		}
 	}
 	return c, nil
@@ -79,6 +106,28 @@ var seed int64 = 1
 
 // SetSeed sets the seed used by all experiments.
 func SetSeed(s int64) { seed = s }
+
+// parallelism is the host-worker budget for experiment sweeps; 0 (the
+// default) means one worker per host core. SetParallel changes it
+// (cmd/ivybench's -parallel flag). Parallelism never changes results —
+// each point of a sweep is its own cluster and engine — it only changes
+// how many advance at once.
+var parallelism int
+
+// SetParallel sets the number of host workers experiment sweeps use
+// (n < 1 = one per core, n == 1 = fully sequential).
+func SetParallel(n int) { parallelism = n }
+
+// curveWorkers resolves the worker budget for the next sweep. A pending
+// trace forces sequential execution: SetTrace promises the trace lands
+// on the first cluster the experiment builds, which only has a meaning
+// when clusters are built in order.
+func curveWorkers() int {
+	if pendingTrace != nil {
+		return 1
+	}
+	return parallel.Workers(parallelism)
+}
 
 // pendingTrace, when set by SetTrace, is consumed by the next cluster
 // built through baseConfig. Experiments run many clusters (a speedup
@@ -181,8 +230,16 @@ type Table1 struct {
 func RunTable1() (Table1, error) {
 	par := apps.MemoryPressurePDE3D()
 	t := Table1{Iters: par.Iters, Rows: map[int][]uint64{}}
-	for _, procs := range []int{1, 2} {
-		cfg := baseConfig(procs)
+	counts := []int{1, 2}
+	type row struct {
+		perIter []uint64
+		err     error
+	}
+	// The per-count runs are independent clusters; all observer state
+	// (perIter, prev) is local to each job, so the runs parallelize
+	// like any other sweep.
+	rows := parallel.Map(curveWorkers(), len(counts), func(i int) row {
+		cfg := baseConfig(counts[i])
 		cfg.MemoryPages = apps.MemoryPressureFrames
 		var perIter []uint64
 		var prev *ivy.ClusterStats
@@ -201,12 +258,18 @@ func RunTable1() (Table1, error) {
 			prev = &cur
 		}
 		if _, err := apps.RunPDE3D(cfg, p); err != nil {
-			return Table1{}, err
+			return row{err: err}
 		}
 		if subErr != nil {
-			return Table1{}, fmt.Errorf("harness: table1 interval delta: %w", subErr)
+			return row{err: fmt.Errorf("harness: table1 interval delta: %w", subErr)}
 		}
-		t.Rows[procs] = perIter
+		return row{perIter: perIter}
+	})
+	for i, r := range rows {
+		if r.err != nil {
+			return Table1{}, r.err
+		}
+		t.Rows[counts[i]] = r.perIter
 	}
 	return t, nil
 }
@@ -248,6 +311,19 @@ func RenderCurve(w io.Writer, c Curve) {
 			p.Procs, p.Elapsed.Round(time.Millisecond), p.Speedup, p.Faults, p.Packets, p.DiskIO)
 	}
 	RenderSpeedupChart(w, c)
+}
+
+// RenderWall prints the host wall-clock cost of each point of a curve —
+// the simulator's own performance trajectory, deliberately kept out of
+// RenderCurve so the recorded paper-style outputs (EXPERIMENTS.md) stay
+// byte-stable across machines. cmd/ivybench's -wall flag drives it.
+func RenderWall(w io.Writer, c Curve) {
+	fmt.Fprintf(w, "  host wall-clock per run (nondeterministic; excluded from comparisons):\n")
+	fmt.Fprintf(w, "  %-6s %-14s\n", "procs", "wall")
+	for _, p := range c.Points {
+		fmt.Fprintf(w, "  %-6d %-14s\n", p.Procs, p.Wall.Round(time.Microsecond))
+	}
+	fmt.Fprintln(w)
 }
 
 // RenderSpeedupChart draws a small ASCII speedup-vs-processors chart

@@ -17,6 +17,20 @@ var determinismScope = map[string]bool{
 	"core": true, "sim": true, "ring": true, "remop": true, "disk": true,
 	"memfs": true, "ec": true, "proc": true, "alloc": true, "apps": true,
 	"harness": true, "chaos": true, "drace": true, "metrics": true,
+	"parallel": true,
+}
+
+// hostWorldComponents are in-scope packages that orchestrate *between*
+// independent simulations rather than inside one: internal/parallel
+// spreads whole engines across host cores and times them, so bare
+// goroutines and wall-clock reads are its whole point. The allowance is
+// scoped — goroutines anywhere else in the simulated world still fail —
+// and deliberately partial: the global math/rand ban stays, because a
+// random draw in host-world orchestration is a determinism leak no
+// matter which world it runs in (it would survive into retry ordering,
+// sampled logging, and anything else that feeds back into results).
+var hostWorldComponents = map[string]bool{
+	"parallel": true,
 }
 
 // forbiddenTimeFuncs are the package time functions that read or wait on
@@ -46,10 +60,12 @@ var DeterminismAnalyzer = &analysis.Analyzer{
 }
 
 func runDeterminism(pass *analysis.Pass) (interface{}, error) {
-	if !determinismScope[simWorldComponent(pass.PkgPath)] {
+	component := simWorldComponent(pass.PkgPath)
+	if !determinismScope[component] {
 		return nil, nil
 	}
-	inSim := simWorldComponent(pass.PkgPath) == "sim"
+	inSim := component == "sim"
+	hostWorld := hostWorldComponents[component]
 
 	// References (not just calls): passing time.Now as a value is as
 	// much a leak as calling it.
@@ -65,7 +81,7 @@ func runDeterminism(pass *analysis.Pass) (interface{}, error) {
 		}
 		switch fn.Pkg().Path() {
 		case "time":
-			if forbiddenTimeFuncs[fn.Name()] {
+			if forbiddenTimeFuncs[fn.Name()] && !hostWorld {
 				pass.Reportf(id.Pos(),
 					"time.%s reads the wall clock inside the simulated world; use virtual time via sim.Engine", fn.Name())
 			}
@@ -82,14 +98,16 @@ func runDeterminism(pass *analysis.Pass) (interface{}, error) {
 		}
 	}
 
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			if g, ok := n.(*ast.GoStmt); ok {
-				pass.Reportf(g.Pos(),
-					"bare go statement inside the simulated world; concurrency must be a sim.Engine fiber so scheduling stays deterministic")
-			}
-			return true
-		})
+	if !hostWorld {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					pass.Reportf(g.Pos(),
+						"bare go statement inside the simulated world; concurrency must be a sim.Engine fiber so scheduling stays deterministic")
+				}
+				return true
+			})
+		}
 	}
 	return nil, nil
 }

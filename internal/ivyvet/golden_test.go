@@ -23,9 +23,14 @@ import (
 // and every want must be consumed. A clean construct is therefore a
 // negative case simply by carrying no want comment.
 
+// TestDeterminismGolden includes det/internal/parallel, the host-world
+// allowance: bare goroutines and wall-clock reads pass there (no want
+// comments), while det/internal/core keeps proving the same constructs
+// fail everywhere else in the simulated world, and the math/rand ban
+// holds in both.
 func TestDeterminismGolden(t *testing.T) {
 	runGolden(t, []*analysis.Analyzer{DeterminismAnalyzer},
-		"det/internal/core", "det/internal/sim", "det/util")
+		"det/internal/core", "det/internal/sim", "det/internal/parallel", "det/util")
 }
 
 func TestMapOrderGolden(t *testing.T) {

@@ -5,9 +5,9 @@
 // one unit of work — an event callback or a fiber — executes at any moment,
 // so simulation code never needs locks and every run with the same seed is
 // bit-for-bit reproducible. Fibers are backed by goroutines but are
-// scheduled cooperatively by the engine through a strict handshake: the
-// engine resumes a fiber, then blocks until the fiber yields (by sleeping,
-// parking, or terminating).
+// scheduled cooperatively: a single scheduling token travels between
+// goroutines, and whichever goroutine holds it runs the dispatch loop
+// until control must transfer elsewhere (see Engine.dispatch).
 //
 // The IVY reproduction uses one fiber per lightweight process and per
 // in-flight remote-operation handler, and events for timers and message
@@ -44,7 +44,10 @@ func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
 // case — resuming a fiber at a time — is represented by the fiber field
 // instead of a closure, so the simulation's hottest path (Sleep, Unpark,
 // message delivery wakeups) allocates nothing: event structs themselves
-// recycle through the engine's free list.
+// recycle through the engine's free list. An event with both fn and
+// fiber nil is cancelled (Every's cancel neutralizes its pending tick in
+// place); the dispatcher drops it without counting it or advancing the
+// clock.
 type event struct {
 	at    Time
 	seq   uint64
@@ -54,13 +57,23 @@ type event struct {
 
 // Engine is a discrete-event simulator. Create one with New, add initial
 // work with Schedule or Go, then call Run. An Engine must not be shared
-// between OS threads except through the fiber handshake it manages itself.
+// between OS threads except through the token handshake it manages
+// itself; distinct Engines are fully independent and may run on
+// different host cores (internal/parallel exploits this).
 type Engine struct {
 	now     Time
 	seq     uint64
 	heap    eventHeap
+	nowQ    nowQueue
 	rng     *rand.Rand
 	stopped bool
+
+	// limit is the active RunUntil horizon; events past it stay queued.
+	limit Time
+
+	// running is true while a RunUntil drives the engine — the guard
+	// against re-entering the dispatcher from simulation code.
+	running bool
 
 	// Fiber bookkeeping. current is the fiber executing right now (nil
 	// when an event callback is running). parked maps live-but-blocked
@@ -70,17 +83,18 @@ type Engine struct {
 	live    int
 	parked  map[*Fiber]string
 
-	// yielded is the engine side of the fiber handshake: a fiber sends
-	// exactly one value on it every time it gives up control.
-	yielded chan struct{}
+	// engineResume wakes the goroutine that called RunUntil when the
+	// run ends while a fiber holds the scheduling token (run drained,
+	// Stop, horizon, or a forwarded panic).
+	engineResume chan struct{}
 
 	// eventCount counts executed events; fiberSwitches counts fiber
 	// resumptions. Exposed for engine-level tests and tracing.
 	eventCount    uint64
 	fiberSwitches uint64
 
-	// panicMsg carries a fiber panic back to the dispatch loop, which
-	// re-raises it on the engine goroutine.
+	// panicMsg carries a fiber or event-callback panic back to the
+	// RunUntil caller, which re-raises it there.
 	panicMsg string
 
 	// free recycles event structs. A deterministic LIFO free list (not a
@@ -102,9 +116,9 @@ type Engine struct {
 // rand constructors only here, in internal/sim.
 func New(seed int64) *Engine {
 	return &Engine{
-		rng:     rand.New(rand.NewSource(seed)),
-		parked:  make(map[*Fiber]string),
-		yielded: make(chan struct{}),
+		rng:          rand.New(rand.NewSource(seed)),
+		parked:       make(map[*Fiber]string),
+		engineResume: make(chan struct{}),
 	}
 }
 
@@ -124,15 +138,33 @@ func (e *Engine) Switches() uint64 { return e.fiberSwitches }
 // Schedule runs fn at time now+d. Scheduling with d <= 0 runs fn as soon
 // as the engine returns to its dispatch loop, still in timestamp order.
 func (e *Engine) Schedule(d time.Duration, fn func()) {
-	e.ScheduleAt(e.now.Add(d), fn)
+	e.scheduleFunc(e.now.Add(d), fn)
 }
 
 // ScheduleAt runs fn at absolute virtual time at. Times in the past are
 // clamped to now.
 func (e *Engine) ScheduleAt(at Time, fn func()) {
+	e.scheduleFunc(at, fn)
+}
+
+// scheduleFunc enqueues a callback event and returns it, so Every can
+// keep a handle on its pending tick for cancellation. Events at the
+// current instant — Unpark, message hand-offs, Schedule with d <= 0 —
+// are the bulk of a coherence workload's traffic; they go to the
+// same-timestamp FIFO and bypass the heap entirely, so the heap is
+// touched only once per timestamp cohort for the work spawned within
+// it. FIFO order equals seq order for equal timestamps, so dispatch
+// order is unchanged. The routing branch is hand-expanded here and in
+// scheduleFiberAt to keep the scheduling path at one call frame.
+func (e *Engine) scheduleFunc(at Time, fn func()) *event {
 	ev := e.getEvent(at)
 	ev.fn = fn
-	e.heap.push(ev)
+	if ev.at == e.now {
+		e.nowQ.push(ev)
+	} else {
+		e.heap.push(ev)
+	}
+	return ev
 }
 
 // scheduleFiberAt schedules fiber f to be resumed at time at — the
@@ -140,7 +172,11 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 func (e *Engine) scheduleFiberAt(at Time, f *Fiber) {
 	ev := e.getEvent(at)
 	ev.fiber = f
-	e.heap.push(ev)
+	if ev.at == e.now {
+		e.nowQ.push(ev)
+	} else {
+		e.heap.push(ev)
+	}
 }
 
 // getEvent takes an event struct off the free list (or allocates one),
@@ -167,26 +203,52 @@ func (e *Engine) putEvent(ev *event) {
 	e.free = append(e.free, ev)
 }
 
+// pending reports how many scheduled events remain.
+func (e *Engine) pending() int { return e.heap.len() + e.nowQ.len() }
+
 // Stop makes Run return after the current event or fiber step completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Every runs fn now+d, now+2d, ... until the returned cancel function is
 // called or the engine stops. fn runs in event context (no fiber).
+// Cancelling neutralizes the pending tick in place: the dispatcher drops
+// it without executing it, counting it, or advancing the clock, so a
+// cancelled timer leaves no trace in Events() or in the run's end time.
 func (e *Engine) Every(d time.Duration, fn func()) (cancel func()) {
 	if d <= 0 {
 		panic("sim: Every with non-positive interval")
 	}
-	stopped := false
+	var st struct {
+		stopped bool
+		ev      *event
+		seq     uint64
+	}
 	var tick func()
 	tick = func() {
-		if stopped || e.stopped {
+		if st.stopped || e.stopped {
 			return
 		}
 		fn()
-		e.Schedule(d, tick)
+		// Re-check: fn may have cancelled its own timer (or stopped the
+		// engine), in which case no next tick must be scheduled.
+		if st.stopped || e.stopped {
+			return
+		}
+		st.ev = e.scheduleFunc(e.now.Add(d), tick)
+		st.seq = st.ev.seq
 	}
-	e.Schedule(d, tick)
-	return func() { stopped = true }
+	st.ev = e.scheduleFunc(e.now.Add(d), tick)
+	st.seq = st.ev.seq
+	return func() {
+		st.stopped = true
+		// The seq check proves the struct is still our pending tick and
+		// not a recycled reincarnation; the fn check skips a tick that
+		// already dispatched (its struct sits cleared on the free list).
+		if st.ev != nil && st.ev.seq == st.seq && st.ev.fn != nil {
+			st.ev.fn = nil
+			st.ev = nil
+		}
+	}
 }
 
 // Run executes events in timestamp order until the event queue is empty
@@ -200,39 +262,143 @@ func (e *Engine) Run() error {
 // RunUntil is Run with a time horizon: events scheduled after limit are
 // left in the queue and the clock stops at the last executed event.
 func (e *Engine) RunUntil(limit Time) error {
-	if e.current != nil {
+	if e.running || e.current != nil {
 		panic("sim: Run called from inside the simulation")
 	}
+	e.running = true
+	e.limit = limit
+	e.dispatch(nil, false)
+	// If the run ended while a fiber held the token, current still names
+	// it; clear so a later RunUntil passes the re-entrancy guard.
+	e.current = nil
+	e.running = false
+	if e.panicMsg != "" {
+		panic(e.panicMsg)
+	}
+	if !e.stopped && e.live > 0 && e.pending() == 0 {
+		return fmt.Errorf("sim: deadlock at %v: %d fiber(s) parked: %s",
+			e.now, e.live, e.parkedSummary())
+	}
+	return nil
+}
+
+// dispatch is the engine's scheduler loop, run by whichever goroutine
+// currently holds the scheduling token: the RunUntil caller (self ==
+// nil) or a fiber that just yielded (self != nil) or terminated (dying).
+// It executes events in (at, seq) order until one of:
+//
+//   - the next event resumes self: return, and the caller continues its
+//     fiber body with zero channel operations — a sleeping fiber whose
+//     wakeup is the next event never leaves its goroutine;
+//   - the next event resumes another fiber: hand the token over with a
+//     single channel send (one scheduler round trip, not the two of a
+//     yield-to-central-loop design) and park until resumed in turn;
+//   - the run ends (queue drained, Stop, horizon): return the token to
+//     the RunUntil caller.
+//
+// Determinism is untouched: exactly one goroutine holds the token at any
+// moment, and the event order is the same total (at, seq) order as ever —
+// only the number of goroutine switches per event changes.
+func (e *Engine) dispatch(self *Fiber, dying bool) {
 	for !e.stopped {
-		ev := e.heap.pop()
+		// Extract the globally next event in (at, seq) order from the
+		// two queues. The FIFO's head, when present, is always at the
+		// current timestamp, so the heap wins only with an equal-time
+		// event scheduled earlier (smaller seq) or — impossible during
+		// a run, but harmless — a strictly earlier time. The peeks
+		// inline; the heap is popped only when it actually wins.
+		ev := e.nowQ.peek()
+		if ev == nil {
+			ev = e.heap.pop()
+		} else if top := e.heap.top(); top != nil &&
+			(top.at < ev.at || (top.at == ev.at && top.seq < ev.seq)) {
+			ev = e.heap.pop()
+		} else {
+			e.nowQ.pop()
+		}
 		if ev == nil {
 			break
 		}
-		if ev.at > limit {
-			// Put it back for a future RunUntil with a later horizon.
+		fn, fb := ev.fn, ev.fiber
+		if fn == nil && fb == nil {
+			// Cancelled (a neutralized Every tick): vanish without
+			// counting, without advancing the clock.
+			e.putEvent(ev)
+			continue
+		}
+		if ev.at > e.limit {
+			// Keep it for a future RunUntil with a later horizon.
 			e.heap.push(ev)
 			break
 		}
 		e.now = ev.at
 		e.eventCount++
-		// Copy the work out and recycle the struct before dispatching:
-		// the callback may schedule (and thus reuse) events itself.
-		fn, fb := ev.fn, ev.fiber
+		// Recycle the struct before dispatching: the callback may
+		// schedule (and thus reuse) events itself.
 		e.putEvent(ev)
-		if fb != nil {
-			e.resumeFiber(fb)
-		} else {
-			fn()
+		if fb == nil {
+			e.current = nil
+			if self == nil {
+				fn() // a panic here propagates raw from RunUntil
+			} else if !e.callEvent(fn) {
+				// The callback panicked on a fiber's goroutine: forward
+				// the message to the RunUntil caller and abandon this
+				// goroutine (its body must not unwind — that would run
+				// user defers for a failure that is not its own).
+				e.engineResume <- struct{}{}
+				if dying {
+					return
+				}
+				<-self.resume // never resumed; the run is aborting
+				return
+			}
+			continue
 		}
-		if e.panicMsg != "" {
-			panic(e.panicMsg)
+		if fb.done {
+			continue // stale wakeup for a terminated fiber
 		}
+		e.fiberSwitches++
+		delete(e.parked, fb)
+		e.current = fb
+		if fb == self {
+			return // own wakeup: continue the body, no goroutine switch
+		}
+		fb.resume <- struct{}{}
+		if dying {
+			return // terminated fiber: hand off and let the goroutine exit
+		}
+		if self == nil {
+			// The RunUntil caller parks until the run ends elsewhere.
+			<-e.engineResume
+			return
+		}
+		<-self.resume
+		return
 	}
-	if !e.stopped && e.live > 0 && e.heap.len() == 0 {
-		return fmt.Errorf("sim: deadlock at %v: %d fiber(s) parked: %s",
-			e.now, e.live, e.parkedSummary())
+	// Run over: queue drained, horizon reached, or Stop. Return the
+	// token to the RunUntil caller if a fiber holds it.
+	if self == nil {
+		return
 	}
-	return nil
+	e.engineResume <- struct{}{}
+	if dying {
+		return
+	}
+	// Park until a future RunUntil resumes this fiber again.
+	<-self.resume
+}
+
+// callEvent runs an event callback on a fiber's goroutine, converting a
+// panic into panicMsg for the RunUntil caller to re-raise. Reports
+// whether the callback completed normally.
+func (e *Engine) callEvent(fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicMsg = fmt.Sprintf("sim: event callback panicked: %v", r)
+		}
+	}()
+	fn()
+	return true
 }
 
 // parkedSummary renders the parked-fiber table for deadlock errors,
@@ -251,21 +417,6 @@ func (e *Engine) parkedSummary() string {
 		s += l
 	}
 	return s
-}
-
-// resumeFiber hands control to f and blocks until f yields. It must be
-// called from the engine's dispatch goroutine (inside an event callback).
-func (e *Engine) resumeFiber(f *Fiber) {
-	if f.done {
-		return
-	}
-	prev := e.current
-	e.current = f
-	delete(e.parked, f)
-	e.fiberSwitches++
-	f.resume <- struct{}{}
-	<-e.yielded
-	e.current = prev
 }
 
 // Current returns the fiber executing right now, or nil when the engine is

@@ -7,9 +7,10 @@ import (
 
 // Fiber is a process-oriented coroutine scheduled by an Engine. A fiber's
 // body runs on its own goroutine, but the engine guarantees that at most
-// one fiber (or event callback) executes at a time; control transfers
-// through an explicit resume/yield handshake. All Fiber methods except
-// Unpark must be called from within the fiber's own body.
+// one fiber (or event callback) executes at a time; control transfers by
+// handing a single scheduling token between goroutines (Engine.dispatch).
+// All Fiber methods except Unpark must be called from within the fiber's
+// own body.
 type Fiber struct {
 	eng    *Engine
 	name   string
@@ -37,20 +38,21 @@ func (e *Engine) Go(name string, body func(f *Fiber)) *Fiber {
 	e.live++
 	// This is the one sanctioned goroutine launch in the simulated
 	// world: the goroutine backing the fiber itself. It runs only under
-	// the engine's strict resume/yield handshake (exactly one unit of
-	// work executes at any moment), so it adds no scheduling freedom.
+	// the engine's token handshake (exactly one unit of work executes at
+	// any moment), so it adds no scheduling freedom.
 	//ivyvet:ignore fiber backing goroutine; serialized by the engine handshake
 	go func() {
 		// Wait for the first resume before touching any engine state.
 		<-f.resume
 		defer func() {
 			if r := recover(); r != nil {
-				// Re-panic on the engine goroutine so the failure
-				// carries the fiber's identity and stops the run.
+				// Carry the failure to the RunUntil caller, which
+				// re-panics with the fiber's identity; this goroutine
+				// dies holding nothing.
 				f.done = true
 				e.live--
-				panicMsg := fmt.Sprintf("sim: fiber %q panicked: %v", f.name, r)
-				e.yieldPanic(panicMsg)
+				e.panicMsg = fmt.Sprintf("sim: fiber %q panicked: %v", f.name, r)
+				e.engineResume <- struct{}{}
 				return
 			}
 			f.done = true
@@ -58,20 +60,16 @@ func (e *Engine) Go(name string, body func(f *Fiber)) *Fiber {
 			for i := len(f.onExit) - 1; i >= 0; i-- {
 				f.onExit[i]()
 			}
-			e.yielded <- struct{}{}
+			// The body is finished but this goroutine still holds the
+			// scheduling token: run the dispatcher one last time in
+			// dying mode, which hands the token to the next event's
+			// owner and lets the goroutine exit.
+			e.dispatch(f, true)
 		}()
 		body(f)
 	}()
 	e.scheduleFiberAt(e.now, f)
 	return f
-}
-
-// yieldPanic transfers a fiber panic back to the engine goroutine, which
-// re-panics with the message. Without this, a panicking fiber would kill
-// its own goroutine while the engine blocks forever on e.yielded.
-func (e *Engine) yieldPanic(msg string) {
-	e.panicMsg = msg
-	e.yielded <- struct{}{}
 }
 
 // Name returns the fiber's diagnostic name.
@@ -97,13 +95,16 @@ func (f *Fiber) OnExit(fn func()) { f.onExit = append(f.onExit, fn) }
 // Now returns the current virtual time.
 func (f *Fiber) Now() Time { return f.eng.now }
 
-// yield gives control back to the engine. The fiber must have arranged to
-// be resumed later (via a scheduled event or an Unpark) or it will park
-// forever and eventually surface in a deadlock report.
+// yield gives control back to the engine by running the dispatcher on
+// this goroutine. If the next event resumes this same fiber, yield
+// returns without a single channel operation or goroutine switch; only a
+// transfer to a different fiber (or the end of the run) parks this one.
+// The fiber must have arranged to be resumed later (via a scheduled event
+// or an Unpark) or it will park forever and eventually surface in a
+// deadlock report.
 func (f *Fiber) yield(why string) {
 	f.eng.parked[f] = why
-	f.eng.yielded <- struct{}{}
-	<-f.resume
+	f.eng.dispatch(f, false)
 }
 
 // Sleep advances the fiber by d of virtual time. Other events and fibers

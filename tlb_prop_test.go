@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/parallel"
 )
 
 // tlbTraceResult is everything a run observes: the simulated outcome
@@ -23,8 +25,10 @@ type tlbTraceResult struct {
 // bulk reads/writes, word copies, test-and-set, and a migrating worker —
 // on a memory-constrained cluster (so evictions happen) and returns the
 // simulated outcome. A non-nil chaos arms the fault plane for the run.
-func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool, chaos *ChaosOpts) tlbTraceResult {
-	t.Helper()
+// It returns errors instead of failing a *testing.T so the property
+// sweeps can run it from parallel.Map worker goroutines (t.Fatalf is
+// only legal on the test goroutine).
+func runTLBTrace(alg Algorithm, seed int64, disableTLB bool, chaos *ChaosOpts) (tlbTraceResult, error) {
 	const (
 		workers = 4
 		words   = 512 // trace footprint: 16 pages of 256 B
@@ -136,12 +140,55 @@ func runTLBTrace(t *testing.T, alg Algorithm, seed int64, disableTLB bool, chaos
 		sums[workers+1] = sum
 	})
 	if err != nil {
-		t.Fatalf("%v trace (tlb disabled=%v): %v", alg, disableTLB, err)
+		return tlbTraceResult{}, fmt.Errorf("%v trace (tlb disabled=%v): %w", alg, disableTLB, err)
 	}
-	if err := c.VerifyCoherence(); err != nil {
-		t.Fatalf("%v trace (tlb disabled=%v): %v", alg, disableTLB, err)
+	if errs := c.VerifyCoherence(); len(errs) != 0 {
+		return tlbTraceResult{}, fmt.Errorf("%v trace (tlb disabled=%v): coherence: %v", alg, disableTLB, errs)
 	}
-	return tlbTraceResult{elapsed: c.Elapsed(), stats: c.Snapshot(), sums: sums}
+	return tlbTraceResult{elapsed: c.Elapsed(), stats: c.Snapshot(), sums: sums}, nil
+}
+
+// tlbPair is one seed's on/off outcome pair from a parallel sweep.
+type tlbPair struct {
+	on, off tlbTraceResult
+	err     error
+}
+
+// runTLBPairs runs the on/off trace pair for every seed, spreading the
+// seeds across host cores (workers resolves through parallel.Workers, so
+// 0 means one per core). Each pair lands in its seed's slot, so the
+// comparison loop below is identical to the old sequential sweep.
+func runTLBPairs(workers int, alg Algorithm, seeds []int64, chaos *ChaosOpts) []tlbPair {
+	return parallel.Map(parallel.Workers(workers), len(seeds), func(i int) tlbPair {
+		on, err := runTLBTrace(alg, seeds[i], false, chaos)
+		if err != nil {
+			return tlbPair{err: err}
+		}
+		off, err := runTLBTrace(alg, seeds[i], true, chaos)
+		if err != nil {
+			return tlbPair{err: err}
+		}
+		return tlbPair{on: on, off: off}
+	})
+}
+
+// TestTLBSweepParallelEquivalence pins that spreading the property sweep
+// across host cores changes nothing but wall-clock: the same seeds run
+// on one worker and on four must produce DeepEqual pairs — virtual
+// times, full cluster statistics, and every FNV read-data checksum.
+func TestTLBSweepParallelEquivalence(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	seq := runTLBPairs(1, DynamicDistributed, seeds, nil)
+	par := runTLBPairs(4, DynamicDistributed, seeds, nil)
+	for i := range seeds {
+		if seq[i].err != nil || par[i].err != nil {
+			t.Fatalf("seed %d: seq err %v, par err %v", seeds[i], seq[i].err, par[i].err)
+		}
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("seed %d: parallel sweep diverged from sequential:\nseq: %+v\npar: %+v",
+				seeds[i], seq[i], par[i])
+		}
+	}
 }
 
 var tlbAlgs = map[string]Algorithm{
@@ -161,9 +208,12 @@ func TestTLBDeterminism(t *testing.T) {
 	for name, alg := range tlbAlgs {
 		alg := alg
 		t.Run(name, func(t *testing.T) {
-			for seed := int64(1); seed <= 3; seed++ {
-				on := runTLBTrace(t, alg, seed, false, nil)
-				off := runTLBTrace(t, alg, seed, true, nil)
+			seeds := []int64{1, 2, 3}
+			for i, pr := range runTLBPairs(0, alg, seeds, nil) {
+				seed, on, off := seeds[i], pr.on, pr.off
+				if pr.err != nil {
+					t.Fatal(pr.err)
+				}
 				if on.elapsed != off.elapsed {
 					t.Errorf("seed %d: virtual time diverges: TLB on %v, off %v",
 						seed, on.elapsed, off.elapsed)
@@ -202,9 +252,12 @@ func TestTLBDeterminismUnderChaos(t *testing.T) {
 	for name, alg := range tlbAlgs {
 		alg := alg
 		t.Run(name, func(t *testing.T) {
-			for seed := int64(1); seed <= 2; seed++ {
-				on := runTLBTrace(t, alg, seed, false, chaos)
-				off := runTLBTrace(t, alg, seed, true, chaos)
+			seeds := []int64{1, 2}
+			for i, pr := range runTLBPairs(0, alg, seeds, chaos) {
+				seed, on, off := seeds[i], pr.on, pr.off
+				if pr.err != nil {
+					t.Fatal(pr.err)
+				}
 				if on.elapsed != off.elapsed {
 					t.Errorf("seed %d: virtual time diverges under chaos: TLB on %v, off %v",
 						seed, on.elapsed, off.elapsed)
