@@ -1,24 +1,31 @@
 // Command ivyvet runs the simulator's custom static-analysis suite
-// (internal/ivyvet) over the module: determinism, maporder, shootdown,
-// hotpath, and wiresym. Usage:
+// (internal/ivyvet) over the module. Usage:
 //
 //	go run ./cmd/ivyvet ./...
 //	go run ./cmd/ivyvet -tests=false ./internal/core
+//	go run ./cmd/ivyvet -json ./...
+//	go run ./cmd/ivyvet -graph SVM.ReadU64T
 //	go run ./cmd/ivyvet -list
 //
 // It exits 1 when any diagnostic survives (suppress deliberate,
 // documented violations with `//ivyvet:ignore reason` on the flagged
-// line or the line above), and 2 on load failure.
+// line or the line above), and 2 on load failure. -json emits the
+// diagnostics as a JSON array for tooling; -graph prints a function's
+// resolved call-graph neighborhood — its outgoing edges with their
+// resolution kinds, its callers, external calls, and known-blind
+// indirect sites — which is how to debug why a whole-program analyzer
+// did (or did not) reach something.
 //
 // The analyzers are written against the go/analysis API shape; with
 // network access they would build into a multichecker binary usable as
 // `go vet -vettool=$(which ivyvet) ./...`. Offline, this driver loads
-// and type-checks the whole module itself (internal/ivyvet/load), which
-// is also what lets the hotpath analyzer resolve //ivy:hotpath
-// annotations across package boundaries without a facts store.
+// and type-checks the whole module itself (internal/ivyvet/load),
+// which is also what lets the call-graph engine see every package at
+// once.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,12 +33,15 @@ import (
 	"strings"
 
 	"repro/internal/ivyvet"
+	"repro/internal/ivyvet/callgraph"
 	"repro/internal/ivyvet/load"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	tests := flag.Bool("tests", true, "also analyze _test.go files")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	graphQ := flag.String("graph", "", "print the call-graph neighborhood of a function (key, Recv.Name, or Name) and exit")
 	flag.Parse()
 
 	if *list {
@@ -78,21 +88,97 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	if *graphQ != "" {
+		dumpGraph(root, pr, *graphQ)
+		return
+	}
+
 	diags, err := ivyvet.RunProgram(pr, ivyvet.Analyzers())
 	if err != nil {
 		fail(err)
 	}
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if r, err := filepath.Rel(root, rel); err == nil {
-			rel = r
+	if *jsonOut {
+		writeJSON(root, diags)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", relTo(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", rel, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ivyvet: %d diagnostic(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the -json wire shape of one diagnostic.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(root string, diags []ivyvet.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     relTo(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fail(err)
+	}
+}
+
+// dumpGraph prints the resolved neighborhood of every node matching the
+// query — the -graph debug mode.
+func dumpGraph(root string, pr *load.Program, q string) {
+	g := callgraph.Build(pr)
+	nodes := g.Lookup(q)
+	if len(nodes) == 0 {
+		fail(fmt.Errorf("ivyvet: -graph %q matches no function in the program", q))
+	}
+	for i, n := range nodes {
+		if i > 0 {
+			fmt.Println()
+		}
+		pos := g.Fset.Position(n.Decl.Pos())
+		fmt.Printf("%s\n  declared at %s:%d", n.Key, relTo(root, pos.Filename), pos.Line)
+		if n.AddressTaken {
+			fmt.Printf(" (address-taken)")
+		}
+		fmt.Println()
+		for _, e := range n.Out {
+			p := g.Fset.Position(e.Pos)
+			fmt.Printf("  -> %-9s %s (%s:%d)\n", e.Kind, e.Callee.Key, relTo(root, p.Filename), p.Line)
+		}
+		for _, c := range n.Ext {
+			p := g.Fset.Position(c.Pos)
+			fmt.Printf("  -> ext       %s.%s (%s:%d)\n", c.Fn.Pkg().Path(), c.Fn.Name(), relTo(root, p.Filename), p.Line)
+		}
+		for _, p := range n.Unresolved {
+			pp := g.Fset.Position(p)
+			fmt.Printf("  -> ???       unresolved function value (%s:%d)\n", relTo(root, pp.Filename), pp.Line)
+		}
+		for _, caller := range n.In {
+			fmt.Printf("  <- %s\n", caller.Key)
+		}
+	}
+}
+
+func relTo(root, file string) string {
+	if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return file
 }
 
 // moduleRoot walks up from the working directory to the enclosing

@@ -1,0 +1,79 @@
+package chaos
+
+import "repro/internal/wire"
+
+// Class is the fault plane's taxonomy of wire traffic. Every
+// wire.Kind carries exactly one class, and the wirehandler analyzer
+// (internal/ivyvet) holds the table below complete: a new Kind that is
+// marshalled but never classified — or classified as a request and
+// never given a dispatch arm — fails the build, not a 2am debugging
+// session.
+//
+// The class determines what losing, duplicating, or reordering a
+// message may cost, which is the contract the chaos schedules rely on:
+// requests are retransmitted until answered (loss costs latency),
+// replies are matched to one outstanding call (duplicates must be
+// idempotent at the caller), and notices are fire-and-forget hints
+// (loss is benign by design — down-hint TTLs recover).
+type Class uint8
+
+const (
+	// ClassUnknown marks an unclassified kind; the analyzer makes this
+	// unreachable for registered kinds.
+	ClassUnknown Class = iota
+	// ClassRequest messages expect a reply and must have a handler
+	// registered on the serving side (SetHandler dispatch arm).
+	ClassRequest
+	// ClassReply messages are consumed by the caller's reply path in
+	// remop.Call; registering a handler for one is a bug.
+	ClassReply
+	// ClassNotice messages are best-effort broadcasts with handler
+	// arms but no reply; losing one only costs latency.
+	ClassNotice
+)
+
+// String names the class for schedules and diagnostics.
+func (c Class) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassReply:
+		return "reply"
+	case ClassNotice:
+		return "notice"
+	}
+	return "unknown"
+}
+
+// kindClass is the complete classification. The wirehandler analyzer
+// cross-checks it against wire's kind declarations and the module's
+// handler registrations in both directions.
+var kindClass = map[wire.Kind]Class{
+	wire.KindReadFaultReq:   ClassRequest,
+	wire.KindWriteFaultReq:  ClassRequest,
+	wire.KindPageReadReply:  ClassReply,
+	wire.KindPageWriteReply: ClassReply,
+	wire.KindInvalidateReq:  ClassRequest,
+	wire.KindInvalidateAck:  ClassReply,
+	wire.KindMgrConfirm:     ClassRequest,
+	wire.KindMigrateReq:     ClassRequest,
+	wire.KindMigrateAccept:  ClassReply,
+	wire.KindMigrateReject:  ClassReply,
+	wire.KindWorkReq:        ClassRequest,
+	wire.KindWorkReply:      ClassReply,
+	wire.KindResumeReq:      ClassRequest,
+	wire.KindNotifyReq:      ClassRequest,
+	wire.KindAllocReq:       ClassRequest,
+	wire.KindAllocReply:     ClassReply,
+	wire.KindFreeReq:        ClassRequest,
+	wire.KindFreeReply:      ClassReply,
+	wire.KindPing:           ClassRequest,
+	wire.KindPCBProbe:       ClassRequest,
+	wire.KindOwnerQuery:     ClassRequest,
+	wire.KindCrashNotice:    ClassNotice,
+	wire.KindRejoinNotice:   ClassNotice,
+}
+
+// KindClass returns k's traffic class, ClassUnknown for kinds outside
+// the table.
+func KindClass(k wire.Kind) Class { return kindClass[k] }

@@ -8,11 +8,13 @@
 // analyzer's Run function can move there unchanged — but this repository
 // builds offline with no third-party modules, so the driver protocol
 // (unitchecker, facts, dependency passes) is replaced by the small
-// whole-program loader in internal/ivyvet/load. The one deliberate
-// extension is Pass.PkgSyntax, which substitutes for x/tools facts: it
-// lets an analyzer read the parsed syntax of a dependency package (the
-// hotpath analyzer resolves //ivy:hotpath annotations on cross-package
-// callees this way).
+// whole-program loader in internal/ivyvet/load. Two deliberate
+// extensions substitute for x/tools facts: Pass.PkgSyntax lets an
+// analyzer read the parsed syntax of a dependency package, and
+// Pass.Graph exposes the module-wide call graph (built once per
+// program by the driver, shared by every pass) for the transitive
+// analyzers — worldsplit, lockorder, hotpath, hookcover — whose
+// invariants are reachability properties, not per-file shapes.
 package analysis
 
 import (
@@ -20,6 +22,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"repro/internal/ivyvet/callgraph"
 )
 
 // Analyzer describes one static check.
@@ -49,6 +53,12 @@ type Pass struct {
 	// the same program (nil when the path was not loaded from source,
 	// e.g. the standard library). It stands in for x/tools facts.
 	PkgSyntax func(path string) []*ast.File
+
+	// Graph is the whole-program call graph, shared across passes.
+	// Analyzers that report through it must filter nodes to the current
+	// package (node.Fn.Pkg() == Pass.Pkg) so each finding is reported by
+	// exactly one pass.
+	Graph *callgraph.Graph
 
 	// Report receives each diagnostic.
 	Report func(Diagnostic)

@@ -1,0 +1,29 @@
+// Package a exercises each edge-resolution strategy of the call-graph
+// builder from the caller's side.
+package a
+
+// Doer is dispatched through an interface; the builder resolves the
+// call by method name and shape.
+type Doer interface{ Do() int }
+
+// Use calls through the interface.
+func Use(d Doer) int { return d.Do() }
+
+// Twice calls through a function value; the builder resolves it to
+// every address-taken function of matching shape.
+func Twice(f func() int) int { return f() + f() }
+
+// Pick address-takes Helper (a reference outside call position).
+func Pick() func() int { return Helper }
+
+// Helper is the address-taken indirect-call candidate.
+func Helper() int { return 1 }
+
+// Lit calls a local function literal through a variable. The literal's
+// body belongs to Lit's node, and the call is a documented unsound
+// over-approximation: it resolves to every address-taken ()int
+// function (Helper), not to the literal the variable actually holds.
+func Lit() int {
+	g := func() int { return 2 }
+	return g()
+}

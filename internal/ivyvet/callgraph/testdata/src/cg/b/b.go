@@ -1,0 +1,14 @@
+// Package b supplies the cross-package concrete method and a static
+// cross-package call.
+package b
+
+import "cg/a"
+
+// Widget implements a.Doer.
+type Widget struct{ n int }
+
+// Do is the concrete method interface dispatch must resolve to.
+func (w *Widget) Do() int { return w.n }
+
+// Run statically calls into package a.
+func Run(w *Widget) int { return a.Use(w) }

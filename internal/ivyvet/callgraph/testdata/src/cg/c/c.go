@@ -1,0 +1,10 @@
+// Package c exercises the builder's known-blind spot: a call through a
+// function value whose shape no address-taken function matches is
+// recorded as Unresolved, not silently dropped.
+package c
+
+// CallUnknown calls a func(int) string pulled from a container; the
+// program address-takes no function of that shape.
+func CallUnknown(m map[string]func(int) string) string {
+	return m["x"](3)
+}

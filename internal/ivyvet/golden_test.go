@@ -55,14 +55,48 @@ func TestWiresymGolden(t *testing.T) {
 	runGolden(t, []*analysis.Analyzer{WiresymAnalyzer}, "wsym/wire")
 }
 
-// TestRacehookGolden plants the drace coverage hole — an exported SVM
-// accessor handing out frame bytes with no detector hook on its call
-// graph — and asserts the analyzer flags it while hooked accessors,
-// transitive hooks, synchronization primitives (RaceAcquire instead of
-// raceRead), ignored diagnostics dumps, and frame-free methods all
-// stay legal.
-func TestRacehookGolden(t *testing.T) {
-	runGolden(t, []*analysis.Analyzer{RacehookAnalyzer}, "race/internal/core")
+// TestHookcoverGolden plants the instrumentation coverage holes — an
+// exported SVM accessor handing out frame bytes with no hook on its
+// call graph (both planes), one visible only to metrics, one visible
+// only to the detector — and asserts the analyzer flags each missing
+// plane while dual-hooked accessors, transitive hooks, synchronization
+// primitives (RaceAcquire instead of raceRead), ignored diagnostics
+// dumps, and frame-free methods all stay legal.
+func TestHookcoverGolden(t *testing.T) {
+	runGolden(t, []*analysis.Analyzer{HookcoverAnalyzer}, "hkc/internal/core")
+}
+
+// TestWorldsplitGolden covers both halves of the two-world boundary:
+// direct channel/sync findings (with //ivy:hostworld sanctioning sim's
+// annotated machinery and rejected elsewhere) and transitive findings
+// with witness chains — into internal/parallel and into a host mutex
+// hiding in an out-of-scope helper. The harness package pins the
+// orchestrator allowance.
+func TestWorldsplitGolden(t *testing.T) {
+	runGolden(t, []*analysis.Analyzer{WorldsplitAnalyzer},
+		"ws/internal/core", "ws/internal/sim", "ws/internal/harness",
+		"ws/internal/parallel", "ws/util")
+}
+
+// TestLockorderGolden replants the PR 4 forward-record deadlock — page
+// table and directory acquired in opposite orders, one side through a
+// call — and asserts both sides of the cycle are reported, alongside
+// same-class nesting findings, while release-before-reacquire,
+// terminated branches, try-acquires, and message-plane handlers stay
+// clean.
+func TestLockorderGolden(t *testing.T) {
+	runGolden(t, []*analysis.Analyzer{LockorderAnalyzer},
+		"lck/internal/core", "lck/internal/mmu", "lck/internal/sim", "lck/internal/remop")
+}
+
+// TestWirehandlerGolden plants one violation of each wirehandler rule:
+// an unhandled request kind, an unclassified kind, a handler arm for a
+// reply kind, and a wire-shaped package with no classification table at
+// all — while handled requests and a direct handlers-map install for a
+// notice stay clean.
+func TestWirehandlerGolden(t *testing.T) {
+	runGolden(t, []*analysis.Analyzer{WirehandlerAnalyzer},
+		"whd/wire", "whd/chaos", "whd/server", "whd/bare")
 }
 
 // TestIgnoreMechanism pins the escape hatch: a reasoned ignore

@@ -1,0 +1,137 @@
+package ivyvet
+
+import (
+	"go/types"
+
+	"repro/internal/ivyvet/analysis"
+	"repro/internal/ivyvet/callgraph"
+)
+
+// HookcoverAnalyzer generalizes PR 5's racehook check to both
+// instrumentation planes: every shared-memory access entry point in
+// internal/core — an exported SVM method taking a Ctx that reaches the
+// frameFor* page-frame tails — must reach BOTH a drace race-detector
+// hook and a metrics prof hook. The detector only sees the accesses
+// the entry points report, and the ivyprof metrics plane only counts
+// the faults the same paths record; an accessor on just one plane
+// makes the other silently wrong, which is worse than missing — PR 6's
+// coherence metrics and PR 5's race verdicts would quietly disagree
+// about the same run. Deliberate single-plane accessors carry a
+// reasoned //ivyvet:ignore.
+//
+// The reachability runs on the whole-program call graph restricted to
+// internal/core nodes (the frame tails and both hook families are
+// core-internal wrappers), so closures and helpers added between an
+// entry point and its tail keep the coverage visible.
+var HookcoverAnalyzer = &analysis.Analyzer{
+	Name: "hookcover",
+	Doc: "flag exported SVM accessors in internal/core that reach page frames without both a drace hook " +
+		"and a metrics prof hook; the race-detection and profiling planes must see every access path",
+	Run: runHookcover,
+}
+
+// hookcoverTouchers are the frame-returning tails: any function that
+// reaches one of these hands out shared page bytes.
+var hookcoverTouchers = map[string]bool{
+	"frameForRead":         true,
+	"frameForWrite":        true,
+	"frameForReadChecked":  true,
+	"frameForWriteChecked": true,
+}
+
+// hookcoverRaceHooks are the drace entry points; reaching any of them
+// satisfies the detector plane.
+var hookcoverRaceHooks = map[string]bool{
+	"raceRead":     true,
+	"raceWrite":    true,
+	"RaceAcquire":  true,
+	"RaceRelease":  true,
+	"RaceMarkSync": true,
+}
+
+// hookcoverProfHooks are the metrics-plane recorders; reaching any of
+// them satisfies the profiling plane.
+var hookcoverProfHooks = map[string]bool{
+	"profReadFault":  true,
+	"profWriteFault": true,
+	"profUpgrade":    true,
+	"profInvalSent":  true,
+	"profInvalRecv":  true,
+	"profCopysetAdd": true,
+	"profTransfer":   true,
+	"profWrite":      true,
+}
+
+func runHookcover(pass *analysis.Pass) (interface{}, error) {
+	if simWorldComponent(pass.PkgPath) != "core" {
+		return nil, nil
+	}
+	g := pass.Graph
+	if g == nil {
+		return nil, nil
+	}
+	// Keep the traversal inside the component: the tails and hooks are
+	// core-internal, and stopping at the package edge keeps interface
+	// dispatch (Ctx methods resolve by name+shape module-wide) from
+	// connecting core to unrelated implementations.
+	walk := callgraph.Walk{Skip: func(n *callgraph.Node) bool {
+		return simWorldComponent(n.PathNoTest()) != "core"
+	}}
+	reaches := func(n *callgraph.Node, names map[string]bool) bool {
+		if names[n.Fn.Name()] {
+			return true
+		}
+		return g.Reaches(n, func(m *callgraph.Node) bool { return names[m.Fn.Name()] }, walk)
+	}
+
+	for _, n := range g.Nodes() {
+		if n.Fn.Pkg() != pass.Pkg || !isSVMAccessEntryPoint(n.Fn, n) {
+			continue
+		}
+		if !reaches(n, hookcoverTouchers) {
+			continue // no frame data flows out of this method
+		}
+		if !reaches(n, hookcoverRaceHooks) {
+			pass.Reportf(n.Decl.Name.Pos(),
+				"%s reaches page frames without a drace hook: shared-memory access entry points must call raceRead/raceWrite (or RaceAcquire/RaceRelease/RaceMarkSync) on the checked tail so the race detector sees every access", n.Fn.Name())
+		}
+		if !reaches(n, hookcoverProfHooks) {
+			pass.Reportf(n.Decl.Name.Pos(),
+				"%s reaches page frames without a metrics prof hook: access paths must record their fault/traffic class (profReadFault, profWriteFault, profUpgrade, ...) so the ivyprof plane counts every access the detector sees", n.Fn.Name())
+		}
+	}
+	return nil, nil
+}
+
+// isSVMAccessEntryPoint reports whether a node is an exported method on
+// SVM taking a Ctx parameter — the shape of every client-facing
+// shared-memory accessor.
+func isSVMAccessEntryPoint(fn *types.Func, n *callgraph.Node) bool {
+	if !n.Decl.Name.IsExported() || n.Decl.Recv == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil || namedTypeName(recv.Type()) != "SVM" {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if namedTypeName(sig.Params().At(i).Type()) == "Ctx" {
+			return true
+		}
+	}
+	return false
+}
+
+// namedTypeName unwraps a pointer and returns the named type's name, or
+// "" for unnamed types.
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}

@@ -2,10 +2,12 @@ package ivyvet
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
 	"repro/internal/ivyvet/analysis"
+	"repro/internal/ivyvet/callgraph"
 )
 
 // HotpathAnalyzer turns the AllocsPerRun guards of PR 2 into a
@@ -16,19 +18,27 @@ import (
 //
 // must contain no allocating constructs — closures, fmt.*, interface
 // conversions, append/make/new, reference composite literals, string
-// concatenation — and no calls except to other //ivy:hotpath functions,
-// to a small intrinsic set (encoding/binary byte-order methods,
-// math/bits), to non-allocating builtins, or to the declared calls=
-// exits (the cold tail a fast path bails to; list them explicitly so
-// the one sanctioned escape per function is visible in the source).
+// concatenation — and every call in it must land on something verified
+// cheap. v2 verifies callees transitively from the call graph: a callee
+// is acceptable when it is itself //ivy:hotpath, when the whole static
+// call tree under it is allocation- and indirection-free (the
+// allocFree fact, a greatest fixpoint over the graph), when it is an
+// intrinsic (encoding/binary byte-order methods, math/bits) or a
+// non-allocating builtin, or when it is a declared calls= exit — the
+// cold tail a fast path bails to, kept explicit so the one sanctioned
+// escape per function stays visible in the source. Under v1 the calls=
+// list was the only mechanism and rotted accordingly; now an entry
+// that no call in the body uses is itself a finding.
 //
-// Annotations on callees in other packages of this module are resolved
-// through their parsed syntax, so cross-package fast paths (core's word
-// accessors calling memfs.Pool.Front) stay checked end to end.
+// Soundness: the allocFree fact follows static edges only; a callee
+// with interface dispatch, function-value calls, or calls that leave
+// the graph (non-intrinsic stdlib) is conservatively not allocFree, so
+// the fact under-approximates and never vouches for a path it cannot
+// see.
 var HotpathAnalyzer = &analysis.Analyzer{
 	Name: "hotpath",
-	Doc: "enforce that //ivy:hotpath functions are allocation-free and call only other " +
-		"hotpath functions, intrinsics, or their declared calls= exits",
+	Doc: "enforce that //ivy:hotpath functions are allocation-free and call only other hotpath " +
+		"functions, transitively-verified alloc-free callees, intrinsics, or their declared calls= exits",
 	Run: runHotpath,
 }
 
@@ -75,6 +85,9 @@ func parseHotpathAnn(doc *ast.CommentGroup) hotpathAnn {
 
 func runHotpath(pass *analysis.Pass) (interface{}, error) {
 	hp := &hotpathPass{pass: pass, anns: make(map[*types.Func]hotpathAnn)}
+	if g := pass.Graph; g != nil {
+		hp.allocFree = g.Memo("hotpath.allocfree", func() interface{} { return buildAllocFree(g) }).(map[*callgraph.Node]bool)
+	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -94,13 +107,15 @@ func runHotpath(pass *analysis.Pass) (interface{}, error) {
 }
 
 type hotpathPass struct {
-	pass *analysis.Pass
-	anns map[*types.Func]hotpathAnn
+	pass      *analysis.Pass
+	anns      map[*types.Func]hotpathAnn
+	allocFree map[*callgraph.Node]bool
 }
 
 func (hp *hotpathPass) checkBody(fd *ast.FuncDecl, ann hotpathAnn) {
 	pass := hp.pass
 	name := fd.Name.Name
+	usedExits := make(map[string]bool)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.FuncLit:
@@ -131,13 +146,19 @@ func (hp *hotpathPass) checkBody(fd *ast.FuncDecl, ann hotpathAnn) {
 				}
 			}
 		case *ast.CallExpr:
-			hp.checkCall(fd, v, ann)
+			hp.checkCall(fd, v, ann, usedExits)
 		}
 		return true
 	})
+	for _, e := range ann.exits {
+		if !usedExits[e] {
+			pass.Reportf(fd.Pos(),
+				"%s declares calls=%s but no call in the body uses that exit; the allowlist entry has rotted — remove it", name, e)
+		}
+	}
 }
 
-func (hp *hotpathPass) checkCall(fd *ast.FuncDecl, call *ast.CallExpr, ann hotpathAnn) {
+func (hp *hotpathPass) checkCall(fd *ast.FuncDecl, call *ast.CallExpr, ann hotpathAnn, usedExits map[string]bool) {
 	pass := hp.pass
 	name := fd.Name.Name
 	fun := ast.Unparen(call.Fun)
@@ -174,11 +195,20 @@ func (hp *hotpathPass) checkCall(fd *ast.FuncDecl, call *ast.CallExpr, ann hotpa
 	if hp.isHotpath(fn) {
 		return
 	}
-	if matchesExit(fn, ann.exits) {
+	if e := matchesExit(fn, ann.exits); e != "" {
+		usedExits[e] = true
 		return
 	}
+	// v2: a callee whose whole static call tree is allocation-free
+	// needs no annotation and no allowlist entry.
+	if hp.allocFree != nil {
+		if n := hp.pass.Graph.NodeOf(fn); n != nil && hp.allocFree[n] {
+			return
+		}
+	}
 	pass.Reportf(call.Pos(),
-		"%s is //ivy:hotpath: call to non-hotpath %s (annotate the callee //ivy:hotpath, or declare the cold exit with calls=%s)",
+		"%s is //ivy:hotpath: call to %s, which is not hotpath-annotated and not transitively allocation-free "+
+			"(annotate the callee //ivy:hotpath, make its call tree alloc-free, or declare the cold exit with calls=%s)",
 		name, fn.Name(), fn.Name())
 }
 
@@ -198,6 +228,100 @@ func (hp *hotpathPass) isHotpath(fn *types.Func) bool {
 	}
 	hp.anns[fn] = ann
 	return ann.annotated
+}
+
+// buildAllocFree computes the transitive allocation-freedom fact: the
+// greatest fixpoint where a node is allocFree when its own body has no
+// allocating construct, no indirection the graph cannot see through,
+// and every static callee is allocFree, //ivy:hotpath, or an intrinsic.
+func buildAllocFree(g *callgraph.Graph) map[*callgraph.Node]bool {
+	clean := make(map[*callgraph.Node]bool)
+	for _, n := range g.Nodes() {
+		if nodeLocallyClean(n) {
+			clean[n] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			if !clean[n] {
+				continue
+			}
+			for _, e := range n.Out {
+				if e.Kind != callgraph.Static {
+					continue // already handled by nodeLocallyClean
+				}
+				if !clean[e.Callee] && !parseHotpathAnn(e.Callee.Decl.Doc).annotated {
+					delete(clean, n)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return clean
+}
+
+// nodeLocallyClean reports whether a node's own body is free of
+// allocating constructs, dynamic dispatch, unresolved calls, and
+// non-intrinsic external calls.
+func nodeLocallyClean(n *callgraph.Node) bool {
+	if len(n.Unresolved) > 0 {
+		return false
+	}
+	for _, e := range n.Out {
+		if e.Kind != callgraph.Static {
+			return false
+		}
+	}
+	for _, ext := range n.Ext {
+		if ext.Fn.Pkg() == nil || !intrinsicPkgs[ext.Fn.Pkg().Path()] {
+			return false
+		}
+	}
+	info := n.Pkg.Info
+	dirty := false
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		if dirty {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.SelectStmt:
+			dirty = true
+		case *ast.CompositeLit:
+			switch info.Types[v].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				dirty = true
+			}
+		case *ast.UnaryExpr:
+			if _, ok := v.X.(*ast.CompositeLit); ok && v.Op == token.AND {
+				dirty = true
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD {
+				if t, ok := info.Types[v].Type.Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+					dirty = true
+				}
+			}
+		case *ast.CallExpr:
+			fun := ast.Unparen(v.Fun)
+			if tv, ok := info.Types[fun]; ok && tv.IsType() {
+				if types.IsInterface(tv.Type) && len(v.Args) == 1 {
+					if at, ok := info.Types[v.Args[0]]; ok && !types.IsInterface(at.Type) {
+						dirty = true
+					}
+				}
+				return true
+			}
+			if id, ok := fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && !allowedBuiltins[b.Name()] {
+					dirty = true
+				}
+			}
+		}
+		return true
+	})
+	return !dirty
 }
 
 // findFuncDecl locates fn's declaration in files by name and receiver
@@ -254,22 +378,22 @@ func declRecvName(fd *ast.FuncDecl) string {
 	return ""
 }
 
-// matchesExit reports whether fn matches one of the calls= entries:
-// bare name, Recv.Name, or pkg.Name.
-func matchesExit(fn *types.Func, exits []string) bool {
+// matchesExit returns the calls= entry fn matches — bare name,
+// Recv.Name, or pkg.Name — or "".
+func matchesExit(fn *types.Func, exits []string) string {
 	recv := recvTypeName(fn)
 	for _, e := range exits {
 		if e == fn.Name() {
-			return true
+			return e
 		}
 		if recv != "" && e == recv+"."+fn.Name() {
-			return true
+			return e
 		}
 		if fn.Pkg() != nil && e == fn.Pkg().Name()+"."+fn.Name() {
-			return true
+			return e
 		}
 	}
-	return false
+	return ""
 }
 
 func kindWord(t types.Type) string {

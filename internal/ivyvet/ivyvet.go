@@ -1,6 +1,13 @@
-// Package ivyvet is the simulator's custom static-analysis suite: six
+// Package ivyvet is the simulator's custom static-analysis suite: nine
 // analyzers that mechanically enforce invariants this reproduction
-// otherwise trusts to convention and review.
+// otherwise trusts to convention and review. Since v2 the suite runs
+// over a whole-program call graph (internal/ivyvet/callgraph, shared
+// across analyzers through Pass.Graph), so invariants phrased as
+// reachability — "nothing in the simulated world reaches a goroutine
+// launch", "no cycle in the lock order" — are checked module-wide, not
+// per file.
+//
+// Per-package analyzers:
 //
 //   - determinism: simulated-world packages must not consult wall-clock
 //     time, the global math/rand source, or spawn bare goroutines —
@@ -11,20 +18,42 @@
 //   - shootdown: every frame installation in internal/core must route
 //     through SVM.install, which advances the TLB shootdown epoch when
 //     memfs.Pool.Put replaces a resident frame's bytes in place.
-//   - hotpath: functions annotated //ivy:hotpath must stay free of
-//     allocating constructs and of calls to non-hotpath functions.
 //   - wiresym: every registered wire message kind must have a name, a
 //     decoder factory, a Kind method agreeing with its registration,
 //     and Encode/Decode bodies that move the same field sequence.
-//   - racehook: every shared-memory access entry point in internal/core
-//     (exported SVM method taking a Ctx that reaches page frames) must
-//     report to the drace race detector — an unhooked accessor is a
-//     blind spot where data races silently pass.
+//
+// Whole-program analyzers (these assume the full module is loaded; on
+// a subset load they can over-report, since the evidence that
+// satisfies them — handler registrations, hook calls, the chaos
+// classification table — may live in packages outside the request):
+//
+//   - hotpath: functions annotated //ivy:hotpath must stay free of
+//     allocating constructs; callees must be hotpath-annotated,
+//     transitively allocation-free per the call graph, or declared
+//     cold exits (calls= entries that no call uses are flagged).
+//   - worldsplit: channel operations, sync/sync-atomic objects, and
+//     transitive paths into internal/parallel or host primitives are
+//     findings everywhere in the simulated world except //ivy:hostworld
+//     machinery in internal/sim and internal/parallel.
+//   - lockorder: derives the static lock acquisition graph (classes
+//     discovered by their fiber-blocking Lock/Acquire shape) with a
+//     flow-sensitive held-set dataflow per function, and reports
+//     ordering cycles — the PR 4 forward-record deadlock class — and
+//     unordered same-class nesting.
+//   - hookcover: every shared-memory access entry point in
+//     internal/core (exported SVM method taking a Ctx that reaches
+//     page frames) must reach BOTH instrumentation planes: a drace
+//     race-detector hook and an ivyprof metrics hook.
+//   - wirehandler: every wire.Kind is classified in the chaos
+//     kindClass table; request/notice kinds must have a handler arm
+//     somewhere in the module, reply kinds must have none.
 //
 // A diagnostic is suppressed by a `//ivyvet:ignore <reason>` comment on
 // the flagged line or the line above; the reason is mandatory, so every
 // deliberate violation is documented at the site. Run the suite with
-// `go run ./cmd/ivyvet ./...` (see that command and DESIGN.md §8).
+// `go run ./cmd/ivyvet ./...` (see that command and DESIGN.md §8);
+// `-json` emits machine-readable findings and `-graph <func>` dumps a
+// function's call-graph neighborhood for debugging reachability.
 package ivyvet
 
 import (
@@ -34,6 +63,7 @@ import (
 	"strings"
 
 	"repro/internal/ivyvet/analysis"
+	"repro/internal/ivyvet/callgraph"
 	"repro/internal/ivyvet/load"
 )
 
@@ -45,7 +75,10 @@ func Analyzers() []*analysis.Analyzer {
 		ShootdownAnalyzer,
 		HotpathAnalyzer,
 		WiresymAnalyzer,
-		RacehookAnalyzer,
+		WorldsplitAnalyzer,
+		LockorderAnalyzer,
+		HookcoverAnalyzer,
+		WirehandlerAnalyzer,
 	}
 }
 
@@ -66,6 +99,7 @@ func (d Diagnostic) String() string {
 // line are dropped; an ignore comment without a reason is itself
 // reported, so the escape hatch cannot be used silently.
 func RunProgram(pr *load.Program, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	graph := callgraph.Build(pr)
 	var out []Diagnostic
 	for _, pkg := range pr.Packages {
 		ignored, bad := ignoreLines(pr.Fset, pkg)
@@ -79,6 +113,7 @@ func RunProgram(pr *load.Program, analyzers []*analysis.Analyzer) ([]Diagnostic,
 				TypesInfo: pkg.Info,
 				PkgPath:   pkg.PathNoTest(),
 				PkgSyntax: pr.Syntax,
+				Graph:     graph,
 			}
 			name := a.Name
 			pass.Report = func(d analysis.Diagnostic) {

@@ -54,8 +54,44 @@ type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
 
+	// all holds every package compiled from source during the load —
+	// the requested packages plus their in-module / overlay
+	// dependencies — deduplicated per import path with the requested
+	// (tests-included) image winning. See All.
+	all []*Package
+
+	// images holds every distinct compiled image, duplicates included
+	// (a path compiled both with and without test files contributes
+	// two images). See Images.
+	images []*Package
+
 	syntax map[string][]*ast.File
 }
+
+// Images returns every distinct compiled package image of the load. A
+// path requested with Config.Tests that is also imported by another
+// package appears twice — once with test files, once without — with
+// the same PkgPath but disjoint type-object universes. Consumers that
+// match type identities across packages (the call graph's interface
+// implementation search) must consider every image; everyone else
+// wants All.
+func (pr *Program) Images() []*Package { return pr.images }
+
+// All returns every source-compiled package of the load: the requested
+// packages first, in request order, then dependency packages that were
+// compiled on their behalf but not themselves requested, sorted by
+// path. The whole-program call graph is built over this set, so
+// reachability queries traverse helper packages that no analyzer was
+// asked to report on.
+//
+// One subtlety this method hides: when Config.Tests is set, a package
+// can be compiled twice — once with its test files (as requested) and
+// once without (as a dependency of another package). Both images carry
+// the same import path but distinct type objects. All returns only one
+// Package per path (preferring the requested, tests-included image);
+// the call graph bridges the two images by resolving functions through
+// stable symbol keys rather than object identity.
+func (pr *Program) All() []*Package { return pr.all }
 
 // Syntax returns the parsed files of an import path compiled from
 // source during the load, or nil for paths that came from the standard
@@ -135,6 +171,55 @@ func (c *Config) Load(patterns ...string) (*Program, error) {
 			if xt != nil {
 				pr.Packages = append(pr.Packages, xt)
 			}
+		}
+	}
+
+	// Assemble All: requested images first, then source-compiled
+	// dependencies not already covered, in sorted path order for
+	// deterministic downstream iteration.
+	seen := make(map[string]bool, len(pr.Packages))
+	for _, p := range pr.Packages {
+		seen[p.PkgPath] = true
+		pr.all = append(pr.all, p)
+	}
+	var depPaths []string
+	deps := make(map[string]*entry)
+	for k, e := range ld.pkgs {
+		path := strings.TrimSuffix(k, "\x00test")
+		if e.files == nil || seen[path] || deps[path] != nil {
+			continue // stdlib, or already a requested image
+		}
+		deps[path] = e
+		depPaths = append(depPaths, path)
+	}
+	sort.Strings(depPaths)
+	for _, path := range depPaths {
+		e := deps[path]
+		pr.all = append(pr.all, &Package{
+			PkgPath: path, Dir: e.dir, Files: e.files, Types: e.pkg, Info: e.info,
+		})
+	}
+
+	// images: every distinct compiled image, including the duplicate
+	// plain image of a tests-included requested package. Sorted by key
+	// for determinism.
+	var imgKeys []string
+	for k, e := range ld.pkgs {
+		if e.files != nil {
+			imgKeys = append(imgKeys, k)
+		}
+	}
+	sort.Strings(imgKeys)
+	for _, k := range imgKeys {
+		e := ld.pkgs[k]
+		path := strings.TrimSuffix(k, "\x00test")
+		pr.images = append(pr.images, &Package{
+			PkgPath: path, Dir: e.dir, Files: e.files, Types: e.pkg, Info: e.info,
+		})
+	}
+	for _, p := range pr.Packages {
+		if strings.HasSuffix(p.PkgPath, "_test") {
+			pr.images = append(pr.images, p)
 		}
 	}
 	return pr, nil

@@ -1,0 +1,583 @@
+package ivyvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/ivyvet/analysis"
+	"repro/internal/ivyvet/callgraph"
+)
+
+// LockorderAnalyzer derives the static lock acquisition graph of the
+// module and reports any cycle — the class of bug PR 4's forward-record
+// deadlock belonged to, where the faulting side held its page-table
+// lock while the manager path acquired the directory lock against the
+// opposite order. The fix established a global order (directory before
+// page table, releasing and re-taking across the boundary); this
+// analyzer keeps that order a build-time invariant instead of reviewer
+// memory.
+//
+// Lock classes are discovered structurally: a named type with a
+// blocking acquire method (Lock or Acquire) whose first parameter is a
+// *Fiber — blocking in the simulated world means parking a fiber — plus
+// a matching release (Unlock or Release). Today that finds mmu.Table
+// (per-page fault locks), mmu.OwnerTable (manager directory locks), and
+// sim.Resource (CPU slots); a future memfs pool or remop endpoint lock
+// joins the graph the moment it grows the method shape.
+//
+// Within each function a small flow-sensitive dataflow tracks the
+// held-lock set across branches (a branch ending in return contributes
+// nothing downstream — the release-before-reacquire idiom of
+// manager.go stays clean), records an edge held→acquired for every
+// blocking acquisition, and charges calls with locks held against the
+// callee's transitive acquisition set from the call graph. TryLock
+// cannot block, so it creates no inbound edge, but its success path
+// adds to the held set. Same-class nesting is reported directly:
+// re-acquiring a held key is a self-deadlock; a second key of the same
+// class demands a documented key order.
+//
+// Soundness: transitive acquisition follows static call edges only and
+// stops at internal/sim (the scheduler would connect everything to
+// everything) and at internal/remop (a remote call's handler runs on
+// another node's fiber; cross-node waits are modeled by every handler
+// being scanned as its own root, which is exactly how the PR 4 cycle
+// surfaces — the two sides disagree on the global order). Function
+// literals are scanned as separate roots with an empty held set.
+var LockorderAnalyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "derive the static lock acquisition graph (dir locks, page locks, CPU resources) " +
+		"and report ordering cycles and unordered same-class nesting",
+	Run: runLockorder,
+}
+
+var (
+	lockAcquireNames = map[string]bool{"Lock": true, "Acquire": true}
+	lockTryNames     = map[string]bool{"TryLock": true, "TryAcquire": true}
+	lockReleaseNames = map[string]bool{"Unlock": true, "Release": true}
+)
+
+// lockBoundaryComponents stop transitive acquisition propagation: sim
+// is the scheduler (everything reaches it), remop is the message plane
+// (its handlers run on other nodes' fibers).
+var lockBoundaryComponents = map[string]bool{"sim": true, "remop": true}
+
+func runLockorder(pass *analysis.Pass) (interface{}, error) {
+	g := pass.Graph
+	if g == nil {
+		return nil, nil
+	}
+	facts := g.Memo("lockorder", func() interface{} { return buildLockorderFacts(g) }).(*lockorderFacts)
+	for _, f := range facts.findings {
+		if f.node.Fn.Pkg() == pass.Pkg {
+			pass.Report(analysis.Diagnostic{Pos: f.pos, Message: f.msg})
+		}
+	}
+	return nil, nil
+}
+
+type lockFinding struct {
+	node *callgraph.Node
+	pos  token.Pos
+	msg  string
+}
+
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	node     *callgraph.Node
+	via      string // callee key for call-transferred edges, "" for direct
+}
+
+type lockorderFacts struct {
+	findings []lockFinding
+}
+
+// lockClassOf resolves a method call's receiver to its lock class key
+// ("internal/mmu.Table" shortened to "mmu.Table" for messages), or "".
+func lockClassOf(classes map[string]bool, fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	key := strings.TrimSuffix(named.Obj().Pkg().Path(), "_test") + "." + named.Obj().Name()
+	if !classes[key] {
+		return ""
+	}
+	return key
+}
+
+// blocksOnFiber reports whether a method's first parameter is a *Fiber
+// (or Fiber) — the structural marker of a fiber-blocking acquire.
+func blocksOnFiber(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() == 0 {
+		return false
+	}
+	t := sig.Params().At(0).Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Fiber"
+}
+
+func buildLockorderFacts(g *callgraph.Graph) *lockorderFacts {
+	facts := &lockorderFacts{}
+
+	// Discover lock classes across every image.
+	classes := make(map[string]bool)
+	for _, pkg := range g.Prog.Images() {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			var hasAcquire, hasRelease bool
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				if lockAcquireNames[m.Name()] && blocksOnFiber(m) {
+					hasAcquire = true
+				}
+				if lockReleaseNames[m.Name()] {
+					hasRelease = true
+				}
+			}
+			if hasAcquire && hasRelease {
+				classes[strings.TrimSuffix(pkg.PathNoTest(), "_test")+"."+name] = true
+			}
+		}
+	}
+	if len(classes) == 0 {
+		return facts
+	}
+
+	// Seeds: nodes whose bodies contain a blocking acquire of each
+	// class, then the per-class reaches-an-acquire closure over static
+	// edges, stopping at the scheduler and the message plane.
+	seeds := make(map[string]map[*callgraph.Node]bool)
+	for _, n := range g.Nodes() {
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := n.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !lockAcquireNames[fn.Name()] {
+				return true
+			}
+			if c := lockClassOf(classes, fn); c != "" {
+				if seeds[c] == nil {
+					seeds[c] = make(map[*callgraph.Node]bool)
+				}
+				seeds[c][n] = true
+			}
+			return true
+		})
+	}
+	boundary := callgraph.Walk{
+		Skip:  func(n *callgraph.Node) bool { return lockBoundaryComponents[simWorldComponent(n.PathNoTest())] },
+		Edges: func(e callgraph.Edge) bool { return e.Kind == callgraph.Static },
+	}
+	acquirers := make(map[string]map[*callgraph.Node]bool)
+	var classList []string
+	for c := range classes {
+		classList = append(classList, c)
+	}
+	sort.Strings(classList)
+	for _, c := range classList {
+		if seeds[c] != nil {
+			acquirers[c] = g.Reachers(func(n *callgraph.Node) bool { return seeds[c][n] }, boundary)
+		}
+	}
+
+	// Per-node dataflow scan.
+	var edges []lockEdge
+	for _, n := range g.Nodes() {
+		sc := &lockScanner{
+			g: g, node: n, classes: classes, acquirers: acquirers,
+			classList: classList, edges: &edges, facts: facts,
+		}
+		sc.roots = append(sc.roots, n.Decl.Body)
+		for i := 0; i < len(sc.roots); i++ { // function literals queue more roots
+			sc.scanStmts(sc.roots[i].List, nil)
+		}
+	}
+
+	// Cycle detection over the class graph: an edge is in a cycle when
+	// its target reaches its source. Report at the acquiring site, with
+	// the counter-edge's position as the other half of the story.
+	adj := make(map[string]map[string][]lockEdge)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string][]lockEdge)
+		}
+		adj[e.from][e.to] = append(adj[e.from][e.to], e)
+	}
+	for _, e := range edges {
+		path := lockPath(adj, e.to, e.from)
+		if path == nil {
+			continue
+		}
+		counter := adj[path[0]][path[1]][0]
+		cyc := strings.Join(append([]string{e.from, e.to}, path[1:]...), " -> ")
+		via := ""
+		if e.via != "" {
+			via = fmt.Sprintf(" (through call to %s)", e.via)
+		}
+		facts.findings = append(facts.findings, lockFinding{
+			node: e.node, pos: e.pos,
+			msg: fmt.Sprintf("lock order cycle %s: %s is acquired here%s while %s is held, but %s (%s) acquires them in the opposite order",
+				cyc, shortClass(e.to), via, shortClass(e.from), g.Fset.Position(counter.pos), counter.node.Key),
+		})
+	}
+
+	sort.Slice(facts.findings, func(i, j int) bool { return facts.findings[i].pos < facts.findings[j].pos })
+	return facts
+}
+
+func shortClass(c string) string {
+	if i := strings.LastIndexByte(c, '/'); i >= 0 {
+		return c[i+1:]
+	}
+	return c
+}
+
+// lockPath finds a shortest class path from→to in the acquisition
+// graph, or nil.
+func lockPath(adj map[string]map[string][]lockEdge, from, to string) []string {
+	type visit struct {
+		c    string
+		prev int
+	}
+	trail := []visit{{from, -1}}
+	seen := map[string]bool{from: true}
+	for i := 0; i < len(trail); i++ {
+		v := trail[i]
+		if v.c == to {
+			var path []string
+			for j := i; j >= 0; j = trail[j].prev {
+				path = append(path, trail[j].c)
+			}
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			return path
+		}
+		var nexts []string
+		for c := range adj[v.c] {
+			nexts = append(nexts, c)
+		}
+		sort.Strings(nexts)
+		for _, c := range nexts {
+			if !seen[c] {
+				seen[c] = true
+				trail = append(trail, visit{c, i})
+			}
+		}
+	}
+	return nil
+}
+
+// heldLock is one entry of the dataflow's held set.
+type heldLock struct {
+	class string
+	key   string // rendered key argument, "" for keyless locks
+	pos   token.Pos
+}
+
+type lockScanner struct {
+	g         *callgraph.Graph
+	node      *callgraph.Node
+	classes   map[string]bool
+	acquirers map[string]map[*callgraph.Node]bool
+	classList []string
+	edges     *[]lockEdge
+	facts     *lockorderFacts
+	roots     []*ast.BlockStmt
+}
+
+// scanStmts runs the held-set dataflow over a statement list, returning
+// the exit held set and whether every path through the list terminates
+// (return/branch/panic), in which case the caller drops its
+// contribution to the merge.
+func (sc *lockScanner) scanStmts(stmts []ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	for _, s := range stmts {
+		var term bool
+		held, term = sc.scanStmt(s, held)
+		if term {
+			return nil, true
+		}
+	}
+	return held, false
+}
+
+func (sc *lockScanner) scanStmt(s ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	switch v := s.(type) {
+	case *ast.BlockStmt:
+		return sc.scanStmts(v.List, held)
+	case *ast.LabeledStmt:
+		return sc.scanStmt(v.Stmt, held)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			held, _ = sc.scanStmt(v.Init, held)
+		}
+		held = sc.scanExpr(v.Cond, held)
+		thenOut, thenTerm := sc.scanStmts(v.Body.List, held)
+		elseOut, elseTerm := held, false
+		if v.Else != nil {
+			elseOut, elseTerm = sc.scanStmt(v.Else, held)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return nil, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		}
+		return mergeHeld(thenOut, elseOut), false
+	case *ast.ForStmt:
+		if v.Init != nil {
+			held, _ = sc.scanStmt(v.Init, held)
+		}
+		if v.Cond != nil {
+			held = sc.scanExpr(v.Cond, held)
+		}
+		bodyOut, bodyTerm := sc.scanStmts(v.Body.List, held)
+		if v.Post != nil && !bodyTerm {
+			bodyOut, _ = sc.scanStmt(v.Post, bodyOut)
+		}
+		if bodyTerm {
+			return held, false
+		}
+		return mergeHeld(held, bodyOut), false
+	case *ast.RangeStmt:
+		held = sc.scanExpr(v.X, held)
+		bodyOut, bodyTerm := sc.scanStmts(v.Body.List, held)
+		if bodyTerm {
+			return held, false
+		}
+		return mergeHeld(held, bodyOut), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		hasDefault := false
+		if sw, ok := v.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				held, _ = sc.scanStmt(sw.Init, held)
+			}
+			if sw.Tag != nil {
+				held = sc.scanExpr(sw.Tag, held)
+			}
+			body = sw.Body
+		} else {
+			ts := v.(*ast.TypeSwitchStmt)
+			if ts.Init != nil {
+				held, _ = sc.scanStmt(ts.Init, held)
+			}
+			body = ts.Body
+		}
+		out := []heldLock(nil)
+		merged := false
+		for _, cs := range body.List {
+			cc := cs.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				held = sc.scanExpr(e, held)
+			}
+			caseOut, caseTerm := sc.scanStmts(cc.Body, held)
+			if !caseTerm {
+				out = mergeHeld(out, caseOut)
+				merged = true
+			}
+		}
+		if !hasDefault || !merged {
+			out = mergeHeld(out, held)
+		}
+		return out, false
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			sc.scanExpr(e, held)
+		}
+		return nil, true
+	case *ast.BranchStmt:
+		return nil, true
+	case *ast.DeferStmt:
+		// Deferred releases run at exit: the lock stays held for the
+		// rest of the scan, which is already the default. Deferred
+		// bodies otherwise scan as a separate root.
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			sc.roots = append(sc.roots, lit.Body)
+		}
+		return held, false
+	case *ast.GoStmt:
+		return held, false
+	case *ast.ExprStmt:
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := sc.node.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					return nil, true
+				}
+			}
+		}
+		return sc.scanExpr(v.X, held), false
+	default:
+		var out []heldLock = held
+		ast.Inspect(s, func(x ast.Node) bool {
+			if e, ok := x.(ast.Expr); ok {
+				out = sc.scanExpr(e, out)
+				return false
+			}
+			return true
+		})
+		return out, false
+	}
+}
+
+// scanExpr processes acquire/release/call sites inside one expression,
+// in syntactic (≈ evaluation) order.
+func (sc *lockScanner) scanExpr(e ast.Expr, held []heldLock) []heldLock {
+	ast.Inspect(e, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok {
+			sc.roots = append(sc.roots, lit.Body)
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !selOK {
+			return true
+		}
+		fn, ok := sc.node.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		class := lockClassOf(sc.classes, fn)
+		switch {
+		case class != "" && lockAcquireNames[fn.Name()]:
+			key := lockKeyArg(call, 1)
+			for _, h := range held {
+				if h.class != class {
+					continue
+				}
+				if h.key == key {
+					sc.facts.findings = append(sc.facts.findings, lockFinding{
+						node: sc.node, pos: call.Pos(),
+						msg: fmt.Sprintf("re-acquires %s key %s already held since %s; fiber locks are not reentrant",
+							shortClass(class), keyWord(key), sc.g.Fset.Position(h.pos)),
+					})
+				} else {
+					sc.facts.findings = append(sc.facts.findings, lockFinding{
+						node: sc.node, pos: call.Pos(),
+						msg: fmt.Sprintf("acquires a second %s (key %s) while holding key %s; same-class nesting needs a documented key order",
+							shortClass(class), keyWord(key), keyWord(h.key)),
+					})
+				}
+			}
+			for _, h := range held {
+				if h.class != class {
+					*sc.edges = append(*sc.edges, lockEdge{from: h.class, to: class, pos: call.Pos(), node: sc.node})
+				}
+			}
+			held = append(held, heldLock{class, key, call.Pos()})
+		case class != "" && lockTryNames[fn.Name()]:
+			// Cannot block: no inbound edge, but the success path holds it.
+			held = append(held, heldLock{class, lockKeyArg(call, 0), call.Pos()})
+		case class != "" && lockReleaseNames[fn.Name()]:
+			held = releaseHeld(held, class, lockKeyArg(call, 0))
+		case len(held) > 0:
+			// A call with locks held: charge the callee's transitive
+			// blocking acquisitions.
+			callee := sc.g.NodeOf(fn)
+			if callee == nil || callee == sc.node {
+				return true
+			}
+			for _, c := range sc.classList {
+				if sc.acquirers[c] == nil || !sc.acquirers[c][callee] {
+					continue
+				}
+				for _, h := range held {
+					if h.class != c {
+						*sc.edges = append(*sc.edges, lockEdge{from: h.class, to: c, pos: call.Pos(), node: sc.node, via: callee.Key})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// lockKeyArg renders the lock's key argument — the last argument beyond
+// the fiberArgs leading fiber parameters; "" for keyless locks like a
+// CPU resource.
+func lockKeyArg(call *ast.CallExpr, fiberArgs int) string {
+	if len(call.Args) <= fiberArgs {
+		return ""
+	}
+	return types.ExprString(call.Args[len(call.Args)-1])
+}
+
+func keyWord(key string) string {
+	if key == "" {
+		return "<none>"
+	}
+	return key
+}
+
+func releaseHeld(held []heldLock, class, key string) []heldLock {
+	// Prefer the most recent exact class+key match, then the most
+	// recent of the class.
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].class == class && held[i].key == key {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].class == class {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+func mergeHeld(a, b []heldLock) []heldLock {
+	out := append([]heldLock(nil), a...)
+	for _, h := range b {
+		dup := false
+		for _, have := range out {
+			if have.class == h.class && have.key == h.key {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,7 +1,9 @@
-// Package core is racehook-analyzer golden input: a miniature of the
+// Package core is hookcover-analyzer golden input: a miniature of the
 // simulator's SVM accessor shapes. PeekWord below is the bug the
 // analyzer exists for — a new exported accessor that hands out frame
-// bytes without reporting the access to the race detector.
+// bytes without reporting the access to either instrumentation plane —
+// and CountedPeek / UnprofiledRead are the subtler halves, on one
+// plane but not the other.
 package core
 
 type Ctx interface {
@@ -34,28 +36,50 @@ func (s *SVM) RaceAcquire(ctx Ctx, addr uint64) {}
 // RaceMarkSync exempts detector-internal metadata.
 func (s *SVM) RaceMarkSync(addr, n uint64) {}
 
-// ReadWord is a clean accessor: it touches a frame and reports.
+// profReadFault records a read fault on the metrics plane.
+func (s *SVM) profReadFault(p int) {}
+
+// profUpgrade records a write-upgrade fault on the metrics plane.
+func (s *SVM) profUpgrade(p int) {}
+
+// ReadWord is a clean accessor: it touches a frame and reports on both
+// planes.
 func (s *SVM) ReadWord(ctx Ctx, addr uint64) byte {
 	frame := s.frameForRead(ctx, int(addr))
 	s.raceRead(ctx, addr, 1)
+	s.profReadFault(int(addr))
 	return frame[0]
 }
 
-// ReadWordIndirect reaches both the frame and the hook transitively —
+// ReadWordIndirect reaches the frame and both hooks transitively —
 // also clean.
 func (s *SVM) ReadWordIndirect(ctx Ctx, addr uint64) byte {
 	return s.ReadWord(ctx, addr)
 }
 
-// PeekWord hands out frame bytes with no detector hook anywhere on its
-// call graph — the coverage hole racehook must flag.
-func (s *SVM) PeekWord(ctx Ctx, addr uint64) byte { // want `PeekWord reaches page frames without a drace hook`
+// PeekWord hands out frame bytes with no hook anywhere on its call
+// graph — the coverage hole hookcover must flag on both planes.
+func (s *SVM) PeekWord(ctx Ctx, addr uint64) byte { // want `PeekWord reaches page frames without a drace hook` `PeekWord reaches page frames without a metrics prof hook`
+	return s.frameForRead(ctx, int(addr))[0]
+}
+
+// CountedPeek is on the metrics plane but invisible to the race
+// detector — the post-PR 5 regression shape.
+func (s *SVM) CountedPeek(ctx Ctx, addr uint64) byte { // want `CountedPeek reaches page frames without a drace hook`
+	s.profReadFault(int(addr))
+	return s.frameForRead(ctx, int(addr))[0]
+}
+
+// UnprofiledRead reports to the detector but never records a fault —
+// the ivyprof plane would undercount exactly these accesses.
+func (s *SVM) UnprofiledRead(ctx Ctx, addr uint64) byte { // want `UnprofiledRead reaches page frames without a metrics prof hook`
+	s.raceRead(ctx, addr, 1)
 	return s.frameForRead(ctx, int(addr))[0]
 }
 
 // TestAndSet never calls raceRead/raceWrite but records the acquire
-// edge — synchronization primitives are hooked differently, not
-// unhooked.
+// edge and the upgrade fault — synchronization primitives are hooked
+// differently, not unhooked.
 func (s *SVM) TestAndSet(ctx Ctx, addr uint64) bool {
 	frame := s.frameForWrite(ctx, int(addr))
 	if frame[0] != 0 {
@@ -63,13 +87,15 @@ func (s *SVM) TestAndSet(ctx Ctx, addr uint64) bool {
 	}
 	frame[0] = 1
 	s.RaceAcquire(ctx, addr)
+	s.profUpgrade(int(addr))
 	return true
 }
 
-// DebugDump deliberately bypasses the detector (diagnostics must not
-// perturb epochs); the reasoned ignore documents that at the site.
+// DebugDump deliberately bypasses both planes (diagnostics must not
+// perturb epochs or counters); the reasoned ignore documents that at
+// the site.
 //
-//ivyvet:ignore diagnostic dump must not perturb detector epochs
+//ivyvet:ignore diagnostic dump must not perturb detector epochs or fault counters
 func (s *SVM) DebugDump(ctx Ctx, addr uint64) byte {
 	return s.frameForRead(ctx, int(addr))[0]
 }

@@ -39,11 +39,34 @@ func leakClosure(n int) {
 	sink = func() { _ = n } // want `closure may allocate its captures`
 }
 
-// leakCall calls a non-hotpath function without declaring it.
+// halve is unannotated but its whole call tree is allocation-free: the
+// v2 transitive fact vouches for it, so fastTransitive needs neither an
+// annotation on it nor a calls= entry.
+func halve(n uint64) uint64 { return quarter(n) << 1 }
+
+func quarter(n uint64) uint64 { return n >> 2 }
+
+// fastTransitive exercises the transitive alloc-free verification.
+//
+//ivy:hotpath
+func fastTransitive(n uint64) uint64 {
+	return halve(n)
+}
+
+// leakCall calls an allocating function without declaring the exit;
+// the transitive fact cannot vouch for slow (it makes a slice).
 //
 //ivy:hotpath
 func leakCall(b []byte) uint64 {
-	return slow(b) // want `call to non-hotpath slow`
+	return slow(b) // want `call to slow, which is not hotpath-annotated and not transitively allocation-free`
+}
+
+// staleExit declares a cold exit it never takes — the rotted-allowlist
+// case v1 could not see.
+//
+//ivy:hotpath calls=slow
+func staleExit(n uint64) uint64 { // want `staleExit declares calls=slow but no call in the body uses that exit`
+	return halve(n)
 }
 
 // leakAppend grows a slice on the fast path.

@@ -1,0 +1,119 @@
+// Package core is lockorder-analyzer golden input. faultPath and
+// managerPath replant the PR 4 forward-record deadlock — the two sides
+// acquiring the page-table and directory locks in opposite orders, one
+// directly and one through a call — while the functions below them pin
+// the idioms that must stay clean: release-before-reacquire, branches
+// that return while holding, try-acquires, and lock acquisition behind
+// the message plane.
+package core
+
+import (
+	"lck/internal/mmu"
+	"lck/internal/remop"
+	"lck/internal/sim"
+)
+
+// SVM is the miniature node: a page table, the manager directory, and
+// a CPU slot.
+type SVM struct {
+	table mmu.Table
+	dir   mmu.OwnerTable
+	cpu   sim.Resource
+}
+
+// faultPath is the faulting side of the PR 4 deadlock: page-table lock
+// held while taking the directory lock.
+func (s *SVM) faultPath(f *sim.Fiber, p int) {
+	s.table.Lock(f, p)
+	s.dir.Lock(f, p) // want `mmu.OwnerTable is acquired here while mmu.Table is held`
+	s.dir.Unlock(p)
+	s.table.Unlock(p)
+}
+
+// lockPage is the helper the manager side reaches the page lock
+// through.
+func (s *SVM) lockPage(f *sim.Fiber, p int) {
+	s.table.Lock(f, p)
+	s.table.Unlock(p)
+}
+
+// managerPath is the opposite order, via a call: directory held while
+// the callee's transitive acquisition takes the page lock.
+func (s *SVM) managerPath(f *sim.Fiber, p int) {
+	s.dir.Lock(f, p)
+	s.lockPage(f, p) // want `mmu.Table is acquired here \(through call to .*lockPage\) while mmu.OwnerTable is held`
+	s.dir.Unlock(p)
+}
+
+// reacquire takes the same page lock twice — fiber locks are not
+// reentrant.
+func (s *SVM) reacquire(f *sim.Fiber, p int) {
+	s.table.Lock(f, p)
+	s.table.Lock(f, p) // want `re-acquires mmu.Table key p already held`
+	s.table.Unlock(p)
+	s.table.Unlock(p)
+}
+
+// unorderedPair nests two page locks with no documented key order.
+func (s *SVM) unorderedPair(f *sim.Fiber, p, q int) {
+	s.table.Lock(f, p)
+	s.table.Lock(f, q) // want `acquires a second mmu.Table \(key q\) while holding key p`
+	s.table.Unlock(q)
+	s.table.Unlock(p)
+}
+
+// withCPU pins the documented one-way order: CPU slot before page
+// lock. One direction only, so no cycle — unless one of the negatives
+// below were to leak a reverse edge.
+func (s *SVM) withCPU(f *sim.Fiber, p int) {
+	s.cpu.Acquire(f)
+	s.table.Lock(f, p)
+	s.table.Unlock(p)
+	s.cpu.Release()
+}
+
+// forwardRecord is the PR 4 fix's idiom: fully release the page lock
+// before taking the CPU slot again. A flow-insensitive scan would see
+// both orders here and report a spurious cycle against withCPU.
+func (s *SVM) forwardRecord(f *sim.Fiber, p int) {
+	s.cpu.Acquire(f)
+	s.cpu.Release()
+	s.table.Lock(f, p)
+	s.table.Unlock(p)
+	s.cpu.Acquire(f)
+	s.cpu.Release()
+}
+
+// grabFast returns from the branch that takes and keeps the page lock
+// (its caller releases); the fall-through never held it, so the CPU
+// acquire below adds no table-before-cpu edge. A merge that unioned
+// the terminated branch's held set would report a spurious cycle
+// against withCPU.
+func (s *SVM) grabFast(f *sim.Fiber, p int) bool {
+	if p&1 == 1 {
+		s.table.Lock(f, p)
+		return true
+	}
+	s.cpu.Acquire(f)
+	s.cpu.Release()
+	return false
+}
+
+// pollCPU probes the CPU slot with the page lock held: a try-acquire
+// cannot park the fiber, so it adds no table-before-cpu edge.
+func (s *SVM) pollCPU(f *sim.Fiber, p int) {
+	s.table.Lock(f, p)
+	if s.cpu.TryAcquire() {
+		s.cpu.Release()
+	}
+	s.table.Unlock(p)
+}
+
+// sendInvalidate holds the directory while the remote handler takes
+// the page lock on its own node's fiber — the message plane stops
+// transitive charging, so no directory-before-table edge arises here.
+func (s *SVM) sendInvalidate(f *sim.Fiber, p int) {
+	s.dir.Lock(f, p)
+	remop.Invalidate(f, &s.table, p)
+	s.dir.Unlock(p)
+}

@@ -1,0 +1,27 @@
+// Package mmu declares the two keyed lock classes of the lockorder
+// golden tests, mirroring the real module's page-table and directory
+// locks.
+package mmu
+
+import "lck/internal/sim"
+
+// Table holds per-page fault locks.
+type Table struct{ held map[int]bool }
+
+// Lock parks the fiber until page p's lock frees.
+func (t *Table) Lock(f *sim.Fiber, p int) {}
+
+// TryLock takes page p's lock only if free.
+func (t *Table) TryLock(p int) bool { return true }
+
+// Unlock frees page p's lock.
+func (t *Table) Unlock(p int) {}
+
+// OwnerTable holds the manager's per-page directory locks.
+type OwnerTable struct{ held map[int]bool }
+
+// Lock parks the fiber until the directory entry frees.
+func (o *OwnerTable) Lock(f *sim.Fiber, p int) {}
+
+// Unlock frees the directory entry.
+func (o *OwnerTable) Unlock(p int) {}

@@ -1,0 +1,16 @@
+// Package remop is the message-plane boundary of the lockorder golden
+// tests: its handlers run on the serving node's fiber, so their lock
+// acquisitions must not be charged to the sending side.
+package remop
+
+import (
+	"lck/internal/mmu"
+	"lck/internal/sim"
+)
+
+// Invalidate models a remote handler taking the page lock on its own
+// node.
+func Invalidate(f *sim.Fiber, t *mmu.Table, p int) {
+	t.Lock(f, p)
+	t.Unlock(p)
+}

@@ -1,0 +1,19 @@
+// Package sim is the miniature scheduler for the lockorder golden
+// tests: a Fiber token and a keyless CPU resource lock.
+package sim
+
+// Fiber is the scheduling token; locks that can park a fiber take it
+// as their first parameter, which is how lockorder discovers them.
+type Fiber struct{ id int }
+
+// Resource is a keyless fiber-blocking lock (a CPU slot).
+type Resource struct{ n int }
+
+// Acquire parks the fiber until a slot frees.
+func (r *Resource) Acquire(f *Fiber) { r.n++ }
+
+// TryAcquire takes a slot only if free — it can never park the fiber.
+func (r *Resource) TryAcquire() bool { return true }
+
+// Release frees the slot.
+func (r *Resource) Release() { r.n-- }

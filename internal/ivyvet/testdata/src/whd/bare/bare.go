@@ -1,0 +1,18 @@
+// Package bare is a wire-shaped package with no chaos classification
+// table anywhere in the program — the missing-table rule reports once,
+// at the Kind type's declaration.
+package bare
+
+// Kind identifies a message type on this plane's wire.
+type Kind uint8 // want `wire.Kind has no chaos classification table`
+
+const (
+	KindInvalid Kind = iota
+	KindEchoReq
+)
+
+// Msg is a decodable message body.
+type Msg interface{ Kind() Kind }
+
+// Register installs a decoder factory for a kind.
+func Register(k Kind, f func() Msg) {}

@@ -1,0 +1,27 @@
+// Package chaos carries the miniature kindClass table the wirehandler
+// analyzer cross-checks against whd/wire's kind declarations.
+package chaos
+
+import "whd/wire"
+
+// Class is the traffic taxonomy.
+type Class uint8
+
+const (
+	ClassUnknown Class = iota
+	ClassRequest
+	ClassReply
+	ClassNotice
+)
+
+// kindClass deliberately omits KindEvtNotice — the analyzer flags that
+// at the constant's declaration in whd/wire.
+var kindClass = map[wire.Kind]Class{
+	wire.KindGetReq:    ClassRequest,
+	wire.KindGetReply:  ClassReply,
+	wire.KindPutReq:    ClassRequest,
+	wire.KindByeNotice: ClassNotice,
+}
+
+// KindClass returns k's traffic class.
+func KindClass(k wire.Kind) Class { return kindClass[k] }

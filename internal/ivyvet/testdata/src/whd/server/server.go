@@ -1,0 +1,30 @@
+// Package server registers the handler arms of the whd realm: one
+// legitimate request arm, one direct-assignment notice arm, and one
+// arm for a reply kind — the protocol confusion wirehandler reports at
+// the registration site.
+package server
+
+import "whd/wire"
+
+// Endpoint dispatches inbound messages by kind.
+type Endpoint struct {
+	handlers map[wire.Kind]func(wire.Msg)
+}
+
+// SetHandler installs the dispatch arm for a kind.
+func (e *Endpoint) SetHandler(k wire.Kind, h func(wire.Msg)) {
+	e.handlers[k] = h
+}
+
+func onGet(wire.Msg)      {}
+func onGetReply(wire.Msg) {}
+func onBye(wire.Msg)      {}
+
+// New wires the endpoint's dispatch table.
+func New() *Endpoint {
+	e := &Endpoint{handlers: make(map[wire.Kind]func(wire.Msg))}
+	e.SetHandler(wire.KindGetReq, onGet)
+	e.SetHandler(wire.KindGetReply, onGetReply) // want `wire kind KindGetReply is classified a reply: replies are consumed by the caller's reply path`
+	e.handlers[wire.KindByeNotice] = onBye
+	return e
+}

@@ -1,0 +1,29 @@
+// Package wire is wirehandler-analyzer golden input: a miniature wire
+// plane whose kinds exercise each classification/coverage rule once.
+package wire
+
+// Kind identifies a message type on the wire.
+type Kind uint16
+
+const (
+	// KindInvalid is the zero sentinel, outside the checked vocabulary.
+	KindInvalid Kind = iota
+	// KindGetReq is a classified request with a handler arm — clean.
+	KindGetReq
+	// KindGetReply is a classified reply; the server's handler arm for
+	// it is the finding, reported at the registration site.
+	KindGetReply
+	// KindPutReq is classified a request but nothing serves it.
+	KindPutReq // want `wire kind KindPutReq is a request but no handler arm exists anywhere in the module`
+	// KindEvtNotice never made it into the chaos table.
+	KindEvtNotice // want `wire kind KindEvtNotice is not classified in the chaos kindClass table`
+	// KindByeNotice is a classified notice installed through a direct
+	// handlers-map assignment rather than SetHandler — also clean.
+	KindByeNotice
+)
+
+// Msg is a decodable message body.
+type Msg interface{ Kind() Kind }
+
+// Register installs a decoder factory for a kind.
+func Register(k Kind, f func() Msg) {}

@@ -1,0 +1,16 @@
+// Package parallel is the miniature host-parallelism layer: it IS the
+// host world, so worldsplit reports nothing here — goroutines and
+// WaitGroups are its whole job.
+package parallel
+
+import "sync"
+
+// Run executes fns concurrently on host cores.
+func Run(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func()) { defer wg.Done(); f() }(fn)
+	}
+	wg.Wait()
+}

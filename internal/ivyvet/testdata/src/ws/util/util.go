@@ -1,0 +1,19 @@
+// Package util sits outside the internal tree, so worldsplit's direct
+// rules skip it — but its mutex makes Guarded a host-primitive seed
+// that the transitive rule charges to simulated-world callers.
+package util
+
+import "sync"
+
+// U is a host-locked helper.
+type U struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Guarded takes a host mutex; simulated-world code must not reach it.
+func (u *U) Guarded() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.n
+}

@@ -1,0 +1,319 @@
+package ivyvet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/ivyvet/analysis"
+)
+
+// WirehandlerAnalyzer closes the loop wiresym leaves open: wiresym
+// proves every wire kind can be encoded and decoded, but nothing proved
+// that a decoded message has somewhere to go. A kind whose envelope
+// arrives at an endpoint with no dispatch arm is dropped silently
+// (remop's dispatch reads ep.handlers[kind] and finds nil) — the exact
+// failure mode of adding a message type and forgetting the serving
+// side.
+//
+// The contract is written down once, in the chaos plane's kindClass
+// table (internal/chaos/class.go), and this analyzer cross-checks it
+// against the whole module in both directions:
+//
+//   - every exported Kind constant must be classified as a request,
+//     reply, or notice (an unclassified kind is a finding at its
+//     declaration — the chaos schedules cannot reason about traffic
+//     they cannot name);
+//   - a request or notice kind must have at least one handler arm
+//     somewhere in the module: a SetHandler(kind, ...) call or a direct
+//     handlers[kind] = install. Handler registrations in test files
+//     count only when the load includes tests, which is why the CI gate
+//     runs with -tests;
+//   - a reply kind must have NO handler arm: replies are consumed by
+//     the caller's reply path in remop.Call, so a handler registered
+//     for one is unreachable code that misstates the protocol.
+//
+// The analyzer activates on any package shaped like internal/wire (an
+// integer Kind type plus a Register function), so the golden testdata
+// realm carries its own miniature wire plane. Index-expression installs
+// inside the wire package itself (codec factory tables) are not
+// handler arms and are excluded.
+var WirehandlerAnalyzer = &analysis.Analyzer{
+	Name: "wirehandler",
+	Doc: "check that every wire kind is chaos-classified and that requests/notices have a " +
+		"dispatch arm while replies have none",
+	Run: runWirehandler,
+}
+
+// wirePlane is the module-wide view of one wire-shaped package.
+type wirePlane struct {
+	// classFound reports whether any map[Kind]Class table exists.
+	classFound bool
+	// classOf maps a kind's constant value to its class name.
+	classOf map[int64]string
+	// handled maps a kind's constant value to true when some package
+	// registers a handler arm for it.
+	handled map[int64]bool
+}
+
+// wirehandlerFacts maps a wire package path to its module-wide plane.
+type wirehandlerFacts struct {
+	wires map[string]*wirePlane
+}
+
+func runWirehandler(pass *analysis.Pass) (interface{}, error) {
+	facts := wirehandlerFactsOf(pass)
+	if len(facts.wires) == 0 {
+		return nil, nil
+	}
+
+	// Part one, inside a wire-shaped package: completeness of the
+	// classification and coverage of request/notice kinds. The xtest
+	// image of a wire package has no Kind in scope and skips this.
+	if plane := facts.wires[pass.PkgPath]; plane != nil {
+		if kindObj, _ := pass.Pkg.Scope().Lookup("Kind").(*types.TypeName); kindObj != nil {
+			checkWireKinds(pass, kindObj, plane)
+		}
+	}
+
+	// Part two, in every package: handler arms installed for reply
+	// kinds. Reported at the registration site so the finding lands in
+	// the package that misstates the protocol, not in wire.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "SetHandler" && len(v.Args) >= 1 {
+					reportReplyArm(pass, facts, v.Args[0])
+				}
+			case *ast.AssignStmt:
+				if facts.wires[pass.PkgPath] != nil {
+					return true // factory/name tables inside wire itself
+				}
+				for _, lhs := range v.Lhs {
+					if ix, ok := lhs.(*ast.IndexExpr); ok {
+						reportReplyArm(pass, facts, ix.Index)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkWireKinds reports unclassified and unhandled kinds at their
+// declarations in the wire package.
+func checkWireKinds(pass *analysis.Pass, kindObj *types.TypeName, plane *wirePlane) {
+	scope := pass.Pkg.Scope()
+	if !plane.classFound {
+		pass.Reportf(kindObj.Pos(),
+			"wire.Kind has no chaos classification table: declare a map[Kind]Class (see internal/chaos) naming every kind's loss semantics")
+		return
+	}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || c.Type() != kindObj.Type() || name == "KindInvalid" {
+			continue
+		}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		class, classified := plane.classOf[v]
+		if !classified {
+			pass.Reportf(c.Pos(),
+				"wire kind %s is not classified in the chaos kindClass table; add it as a request, reply, or notice", name)
+			continue
+		}
+		if (class == "request" || class == "notice") && !plane.handled[v] {
+			pass.Reportf(c.Pos(),
+				"wire kind %s is a %s but no handler arm exists anywhere in the module: messages of this kind vanish at dispatch", name, class)
+		}
+	}
+}
+
+// reportReplyArm flags a handler registration whose kind argument is
+// classified a reply.
+func reportReplyArm(pass *analysis.Pass, facts *wirehandlerFacts, kindArg ast.Expr) {
+	c := constOf(pass, kindArg)
+	if c == nil {
+		return
+	}
+	wirePath, ok := wireKindConst(facts, c)
+	if !ok {
+		return
+	}
+	v, ok := constant.Int64Val(c.Val())
+	if !ok {
+		return
+	}
+	if facts.wires[wirePath].classOf[v] == "reply" {
+		pass.Reportf(kindArg.Pos(),
+			"wire kind %s is classified a reply: replies are consumed by the caller's reply path, this handler arm can never run", c.Name())
+	}
+}
+
+// wireKindConst reports whether c is a Kind constant of a known wire
+// package, returning that package's path.
+func wireKindConst(facts *wirehandlerFacts, c *types.Const) (string, bool) {
+	named, ok := c.Type().(*types.Named)
+	if !ok || named.Obj().Name() != "Kind" || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	path := strings.TrimSuffix(named.Obj().Pkg().Path(), "_test")
+	_, ok = facts.wires[path]
+	return path, ok
+}
+
+// wirehandlerFactsOf builds (once per program, via the graph memo) the
+// module-wide wire planes: which packages are wire-shaped, how the
+// chaos table classifies their kinds, and which kinds have handler
+// arms installed anywhere — test images included when the load
+// includes them.
+func wirehandlerFactsOf(pass *analysis.Pass) *wirehandlerFacts {
+	return pass.Graph.Memo("wirehandler.facts", func() interface{} {
+		facts := &wirehandlerFacts{wires: make(map[string]*wirePlane)}
+
+		// Pass 1: find the wire-shaped packages.
+		for _, img := range pass.Graph.Prog.Images() {
+			scope := img.Types.Scope()
+			kindObj, _ := scope.Lookup("Kind").(*types.TypeName)
+			regObj, _ := scope.Lookup("Register").(*types.Func)
+			if kindObj == nil || regObj == nil {
+				continue
+			}
+			if b, ok := kindObj.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+				continue
+			}
+			path := img.PathNoTest()
+			if facts.wires[path] == nil {
+				facts.wires[path] = &wirePlane{
+					classOf: make(map[int64]string),
+					handled: make(map[int64]bool),
+				}
+			}
+		}
+		if len(facts.wires) == 0 {
+			return facts
+		}
+
+		// Pass 2: classification tables and handler arms, module-wide.
+		for _, img := range pass.Graph.Prog.Images() {
+			inWire := facts.wires[img.PathNoTest()] != nil
+			for _, f := range img.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch v := n.(type) {
+					case *ast.CompositeLit:
+						collectClassTable(facts, img.Info, v)
+					case *ast.CallExpr:
+						if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "SetHandler" && len(v.Args) >= 1 {
+							recordArm(facts, img.Info, v.Args[0])
+						}
+					case *ast.AssignStmt:
+						if inWire {
+							return true
+						}
+						for _, lhs := range v.Lhs {
+							if ix, ok := lhs.(*ast.IndexExpr); ok {
+								recordArm(facts, img.Info, ix.Index)
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		return facts
+	}).(*wirehandlerFacts)
+}
+
+// collectClassTable merges a map[Kind]Class composite literal into the
+// matching wire plane. The class name is taken from the value
+// constant's name suffix (ClassRequest -> "request").
+func collectClassTable(facts *wirehandlerFacts, info *types.Info, cl *ast.CompositeLit) {
+	tv, ok := info.Types[cl]
+	if !ok {
+		return
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	keyNamed, ok := m.Key().(*types.Named)
+	if !ok || keyNamed.Obj().Name() != "Kind" || keyNamed.Obj().Pkg() == nil {
+		return
+	}
+	elemNamed, ok := m.Elem().(*types.Named)
+	if !ok || elemNamed.Obj().Name() != "Class" {
+		return
+	}
+	plane := facts.wires[strings.TrimSuffix(keyNamed.Obj().Pkg().Path(), "_test")]
+	if plane == nil {
+		return
+	}
+	plane.classFound = true
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		ktv, ok := info.Types[kv.Key]
+		if !ok || ktv.Value == nil {
+			continue
+		}
+		v, ok := constant.Int64Val(ktv.Value)
+		if !ok {
+			continue
+		}
+		plane.classOf[v] = classNameOf(info, kv.Value)
+	}
+}
+
+// classNameOf resolves a Class-typed value expression to its traffic
+// class name.
+func classNameOf(info *types.Info, e ast.Expr) string {
+	var name string
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = v.Name
+	case *ast.SelectorExpr:
+		name = v.Sel.Name
+	}
+	for _, class := range []string{"Request", "Reply", "Notice"} {
+		if strings.HasSuffix(name, class) {
+			return strings.ToLower(class)
+		}
+	}
+	return "unknown"
+}
+
+// recordArm marks a kind value as having a handler arm when the
+// expression is a Kind constant of a known wire package.
+func recordArm(facts *wirehandlerFacts, info *types.Info, e ast.Expr) {
+	c := constIn(info, e)
+	if c == nil {
+		return
+	}
+	path, ok := wireKindConst(facts, c)
+	if !ok {
+		return
+	}
+	if v, ok := constant.Int64Val(c.Val()); ok {
+		facts.wires[path].handled[v] = true
+	}
+}
+
+// constIn is constOf over an arbitrary image's type info.
+func constIn(info *types.Info, e ast.Expr) *types.Const {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := info.Uses[v].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := info.Uses[v.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}

@@ -114,6 +114,8 @@ type Engine struct {
 // explicit seed replays the whole run bit-for-bit. The determinism
 // analyzer (internal/ivyvet) enforces this mechanically — it permits
 // rand constructors only here, in internal/sim.
+//
+//ivy:hostworld allocates the engine-resume channel of the token handshake
 func New(seed int64) *Engine {
 	return &Engine{
 		rng:          rand.New(rand.NewSource(seed)),
@@ -299,6 +301,8 @@ func (e *Engine) RunUntil(limit Time) error {
 // Determinism is untouched: exactly one goroutine holds the token at any
 // moment, and the event order is the same total (at, seq) order as ever —
 // only the number of goroutine switches per event changes.
+//
+//ivy:hostworld token-handoff channel handshake between fiber goroutines
 func (e *Engine) dispatch(self *Fiber, dying bool) {
 	for !e.stopped {
 		// Extract the globally next event in (at, seq) order from the

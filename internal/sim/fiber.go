@@ -29,6 +29,8 @@ type Fiber struct {
 // Go creates a fiber named name and schedules its body to start at the
 // current virtual time. The body receives the fiber itself so that it can
 // sleep, park, and spawn further work.
+//
+//ivy:hostworld launches and parks the goroutine backing the fiber
 func (e *Engine) Go(name string, body func(f *Fiber)) *Fiber {
 	f := &Fiber{
 		eng:    e,
