@@ -17,6 +17,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/tcpnet"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -26,9 +27,25 @@ import (
 // a shared-virtual-memory instance, a process manager, and an allocator
 // attachment. Create one with New, then call Run exactly once.
 type Cluster struct {
-	cfg     Config
-	eng     *sim.Engine
-	nw      *ring.Network
+	cfg Config
+	eng *sim.Engine
+
+	// nw is the simulated ring (nil when a TCP transport is selected);
+	// lb is the TCP-loopback backend (nil under sim). tps holds each
+	// node's transport view: every entry aliases nw under sim, and is
+	// the node's own tcpnet.Net under TCP loopback. Code that works on
+	// either backend goes through tps / the ring.Transport interface;
+	// sim-only planes (loss, chaos, tracing) keep the concrete nw.
+	nw  *ring.Network
+	lb  *tcpnet.Loopback
+	tps []ring.Transport
+
+	// nd/nddrv are set only in multi-process node mode (NewNode): this
+	// process's own TCP station and its pacing driver. svms, sts,
+	// allocs, and procs then hold exactly one entry — the local rank.
+	nd    *tcpnet.Net
+	nddrv *tcpnet.Driver
+
 	svms    []*core.SVM
 	sts     []*stats.Node
 	allocs  []*alloc.Service
@@ -66,11 +83,32 @@ func New(cfg Config) *Cluster {
 		cfg.DisableTLB = true
 	}
 	eng := sim.New(cfg.Seed)
-	nw := ring.New(eng, *cfg.Costs, cfg.Processors)
-	if cfg.LossProbability > 0 {
-		nw.SetLossProbability(cfg.LossProbability)
+	c := &Cluster{cfg: cfg, eng: eng, tps: make([]ring.Transport, cfg.Processors)}
+	switch cfg.Transport {
+	case "", TransportSim:
+		c.nw = ring.New(eng, *cfg.Costs, cfg.Processors)
+		if cfg.LossProbability > 0 {
+			c.nw.SetLossProbability(cfg.LossProbability)
+		}
+		for i := range c.tps {
+			c.tps[i] = c.nw
+		}
+	case TransportTCPLoopback:
+		if cfg.LossProbability > 0 || cfg.Chaos != nil || cfg.Trace != nil {
+			panic("ivy: loss injection, chaos, and tracing are simulator planes; not available over " + cfg.Transport)
+		}
+		lb, err := tcpnet.NewLoopback(eng, cfg.Processors, cfg.TimeScale, tcpnet.Options{})
+		if err != nil {
+			panic(fmt.Sprintf("ivy: tcp loopback transport: %v", err))
+		}
+		c.lb = lb
+		eng.SetExternal(lb.Driver())
+		for i := range c.tps {
+			c.tps[i] = lb.Net(i)
+		}
+	default:
+		panic(fmt.Sprintf("ivy: unknown transport %q", cfg.Transport))
 	}
-	c := &Cluster{cfg: cfg, eng: eng, nw: nw}
 
 	// Late-bound load functions: the proc layer is built after the
 	// endpoints that need its hints.
@@ -84,7 +122,7 @@ func New(cfg Config) *Cluster {
 			}
 			return nodes[i].LoadHint()
 		}
-		ep := remop.NewEndpoint(eng, nw, ring.NodeID(i), cpu, *cfg.Costs, loadFn)
+		ep := remop.NewEndpoint(eng, c.tps[i], ring.NodeID(i), cpu, *cfg.Costs, loadFn)
 		st := &stats.Node{}
 		svm := core.New(eng, ep, cpu, core.Config{
 			Node:                  ring.NodeID(i),
@@ -106,6 +144,18 @@ func New(cfg Config) *Cluster {
 			TwoLevel:  cfg.TwoLevelAlloc,
 			ChunkSize: cfg.ChunkBytes,
 		}))
+	}
+	if c.lb != nil {
+		// Reconnect down-hints: a peer the dialer cannot reach is marked
+		// down on the local endpoint (remop's PR 4 machinery — fail-fast
+		// calls, widened retransmission backoff) and cleared when the
+		// link comes back. The hook runs in engine context.
+		for i, svm := range c.svms {
+			ep := svm.Endpoint()
+			c.lb.Net(i).SetDownHook(func(peer ring.NodeID, down bool) {
+				ep.MarkNodeDown(peer, down)
+			})
+		}
 	}
 	c.procs = proc.NewCluster(eng, c.svms, *cfg.Balance)
 	c.procs.SetDisableTLB(cfg.DisableTLB)
@@ -251,9 +301,40 @@ func (c *Cluster) ChaosDigest() uint64 {
 	return c.inj.Digest()
 }
 
-// NetworkStats returns the ring's traffic counters, including the
-// per-receiver delivery accounting the fault plane adds.
-func (c *Cluster) NetworkStats() ring.Stats { return c.nw.Stats() }
+// NetworkStats returns the transport's traffic counters — the ring's,
+// including the per-receiver delivery accounting the fault plane adds,
+// or the summed per-station counters of the TCP loopback backend.
+func (c *Cluster) NetworkStats() ring.Stats {
+	if c.lb != nil {
+		return c.lb.Stats()
+	}
+	if c.nd != nil {
+		return c.nd.Stats()
+	}
+	return c.nw.Stats()
+}
+
+// netNodeKinds returns the per-station per-kind counters for whichever
+// backend is active.
+func (c *Cluster) netNodeKinds() [][wire.NumKinds]ring.KindStats {
+	if c.lb != nil {
+		return c.lb.NodeKinds()
+	}
+	if c.nd != nil {
+		return c.nd.NodeKinds()
+	}
+	return c.nw.NodeKinds()
+}
+
+// allocFor returns the allocator attachment serving the given rank. In
+// a single-process cluster ranks index the slice directly; a NewNode
+// process holds exactly one attachment — its own rank's.
+func (c *Cluster) allocFor(rank int) *alloc.Service {
+	if len(c.allocs) == 1 {
+		return c.allocs[0]
+	}
+	return c.allocs[rank]
+}
 
 // TraceOpts configures StartTrace.
 type TraceOpts struct {
@@ -273,6 +354,9 @@ func (c *Cluster) StartTrace(w io.Writer, opts TraceOpts) {
 	}
 	if c.tr != nil {
 		panic("ivy: StartTrace called twice")
+	}
+	if c.nw == nil {
+		panic("ivy: span tracing is a simulator plane; not available over " + c.cfg.Transport)
 	}
 	c.tr = trace.NewCollector(func() time.Duration { return c.eng.Now().Duration() })
 	c.traceW = w
@@ -313,6 +397,17 @@ func (c *Cluster) Run(main func(p *Proc)) error {
 		panic("ivy: Run called twice on one cluster")
 	}
 	c.ran = true
+	if c.lb != nil {
+		// Graceful shutdown on every exit path: stop the listeners,
+		// join the connection goroutines, release the engine bridge.
+		defer c.lb.Close()
+	}
+	if c.nd != nil {
+		defer func() {
+			c.nd.Close()
+			c.nddrv.Close()
+		}()
+	}
 	mp := c.procs.Node(0).Create(func(inner *proc.Process) {
 		main(&Proc{inner: inner, c: c})
 	}, proc.CreateOpts{Name: "main", Migratable: false})
@@ -321,6 +416,9 @@ func (c *Cluster) Run(main func(p *Proc)) error {
 		mp.Join(f)
 		c.elapsed = c.eng.Now()
 		finished = true
+		if c.nd != nil {
+			c.lingerNode(f)
+		}
 		c.procs.Stop()
 		c.eng.Stop()
 	})
@@ -340,6 +438,37 @@ func (c *Cluster) Run(main func(p *Proc)) error {
 			ErrHorizon, c.eng.Parked(), c.heldPageLocks())
 	}
 	return traceErr
+}
+
+// lingerNode keeps a multi-process node's engine alive after its own
+// program finished. The other ranks of the cluster may still need this
+// rank: a page it owns, a fault reply it has not flushed, an eventcount
+// wakeup queued on its wire. A rank that stopped dispatching the moment
+// its main returned would strand whichever peer asked last — there is
+// always a last message, so "finish, then exit" is not a protocol, it
+// is a race. Instead every rank keeps serving until the link is quiet:
+// no frame sent or received for two consecutive quiet windows and every
+// outbound queue flushed to the kernel. Quiet is a global property —
+// while ANY rank is still working, its faults keep its peers' windows
+// open — so no rank withdraws while another still needs it, yet the
+// cluster as a whole exits promptly once the traffic truly stops.
+func (c *Cluster) lingerNode(f *sim.Fiber) {
+	// The window is meaningful in wall terms (it must cover a few
+	// loopback round trips plus scheduling noise); sleep its scaled
+	// virtual equivalent so the driver paces it to that wall duration.
+	const quietWall = 100 * time.Millisecond
+	window := time.Duration(int64(quietWall) * c.nddrv.Scale())
+	last := c.nd.Activity()
+	for quiet := 0; quiet < 2; {
+		f.Sleep(window)
+		cur := c.nd.Activity()
+		if cur == last && c.nd.OutboundDrained() {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		last = cur
+	}
 }
 
 // armSampler schedules the virtual-time series recorder. Ring
@@ -430,7 +559,7 @@ func (c *Cluster) Snapshot() ClusterStats {
 		out.Retransmissions += eps.Retransmissions
 		out.Broadcasts += eps.Broadcasts
 	}
-	ns := c.nw.Stats()
+	ns := c.NetworkStats()
 	out.Packets = ns.Packets
 	out.NetBytes = ns.Bytes
 	out.WireBusy = ns.WireBusy
@@ -438,7 +567,7 @@ func (c *Cluster) Snapshot() ClusterStats {
 	for i, k := range ns.Kinds {
 		out.Kinds[i] = stats.KindCount{Packets: k.Packets, Bytes: k.Bytes, Drops: k.Drops}
 	}
-	for _, nk := range c.nw.NodeKinds() {
+	for _, nk := range c.netNodeKinds() {
 		row := make([]stats.KindCount, len(nk))
 		for i, k := range nk {
 			row[i] = stats.KindCount{Packets: k.Packets, Bytes: k.Bytes, Drops: k.Drops}
@@ -525,6 +654,16 @@ func (c *Cluster) SetMessageTrace(fn func(MessageEvent)) {
 			})
 		})
 	}
+}
+
+// DigestRegion returns the FNV-1a hash of the shared address range
+// [base, base+size) as it stands now, read from each page's owner via
+// uncharged peeks (see core.DigestRegion). Call after Run, or from a
+// quiescent point inside one: virtual time, LRU state, and fault counts
+// are untouched. Two runs of the same program — on any transport — that
+// agree on final memory agree on the digest.
+func (c *Cluster) DigestRegion(base, size uint64) uint64 {
+	return core.DigestRegion(c.svms, base, size)
 }
 
 // VerifyCoherence checks the shared virtual memory's protocol invariants

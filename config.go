@@ -75,11 +75,38 @@ type TraceConfig struct {
 	SampleInterval time.Duration
 }
 
+// Transport backends for Config.Transport.
+const (
+	// TransportSim (the default) is the deterministic simulated token
+	// ring: virtual time, seeded loss/chaos injection, bit-for-bit
+	// reproducible runs.
+	TransportSim = "sim"
+
+	// TransportTCPLoopback runs the identical protocol stack over real
+	// TCP connections on 127.0.0.1: every frame crosses actual sockets,
+	// one listener per node, all inside this process and one engine.
+	// The engine is host-paced (see internal/tcpnet.Driver), so runs
+	// are no longer deterministic; the simulator-only planes — loss
+	// injection, chaos, span tracing — are rejected. This is the
+	// cross-transport conformance configuration; fully separate
+	// processes use cmd/ivynode instead.
+	TransportTCPLoopback = "tcp-loopback"
+)
+
 // Config assembles a cluster. The zero value of every field has a
 // sensible default applied by New.
 type Config struct {
 	// Processors is the cluster size (default 1, max 64).
 	Processors int
+
+	// Transport selects the interconnect backend: TransportSim (the
+	// default, "") or TransportTCPLoopback. See the constants.
+	Transport string
+
+	// TimeScale compresses wall time for TCP transports: one wall
+	// microsecond advances virtual time by TimeScale microseconds
+	// (default tcpnet.DefaultScale). Ignored by the simulated ring.
+	TimeScale int64
 
 	// PageSize in bytes; the prototype used 1 KB (the default).
 	PageSize int

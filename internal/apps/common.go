@@ -103,6 +103,16 @@ type Result struct {
 	// Check is an application-defined scalar (residual, checksum, tour
 	// cost) that must agree across processor counts.
 	Check float64
+	// Digest is an FNV-1a hash of the program's result region in shared
+	// memory, taken after the run from each page's owner (see
+	// Cluster.DigestRegion). Because it covers only final page contents
+	// in address order, it is independent of which transport carried the
+	// protocol and of which nodes ended up owning which pages — the
+	// cross-transport conformance suite asserts sim and TCP runs agree
+	// on it. Programs whose result bytes are schedule-dependent (TSP's
+	// tour, which ties between optimal branches break by arrival order)
+	// digest only their schedule-independent words.
+	Digest uint64
 	// Metrics is the page-heat/false-sharing profile, nil unless the
 	// run's Config.Profile was set.
 	Metrics *ivy.MetricsSnapshot

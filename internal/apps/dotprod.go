@@ -26,10 +26,12 @@ func RunDotProd(cfg ivy.Config, par DotProdParams) (Result, error) {
 	procs := cluster.Processors()
 	n := par.N
 	var check float64
+	var digBase, digSize uint64
 	err := cluster.Run(func(p *ivy.Proc) {
 		x := AllocF64(p, n)
 		y := AllocF64(p, n)
 		partial := AllocF64(p, procs*16) // slots 128 bytes apart to limit false sharing
+		digBase, digSize = partial.Base, 8*uint64(procs*16)
 		p.LabelRegion("x", x.Base, 8*uint64(n))
 		p.LabelRegion("y", y.Base, 8*uint64(n))
 		p.LabelRegion("partial", partial.Base, 8*uint64(procs*16))
@@ -95,6 +97,7 @@ func RunDotProd(cfg ivy.Config, par DotProdParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Digest:     cluster.DigestRegion(digBase, digSize),
 		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }

@@ -31,11 +31,19 @@ func RunJacobi(cfg ivy.Config, par JacobiParams) (Result, error) {
 	procs := cluster.Processors()
 	n := par.N
 	var check float64
+	var digBase, digSize uint64
 	err := cluster.Run(func(p *ivy.Proc) {
 		a := AllocF64(p, n*n)
 		b := AllocF64(p, n)
 		x := AllocF64(p, n)
 		xn := AllocF64(p, n)
+		// The final iterate lives in x or xn depending on parity.
+		if par.Iters%2 == 1 {
+			digBase = xn.Base
+		} else {
+			digBase = x.Base
+		}
+		digSize = 8 * uint64(n)
 		p.LabelRegion("A", a.Base, 8*uint64(n*n))
 		p.LabelRegion("b", b.Base, 8*uint64(n))
 		p.LabelRegion("x", x.Base, 8*uint64(n))
@@ -134,6 +142,7 @@ func RunJacobi(cfg ivy.Config, par JacobiParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Digest:     cluster.DigestRegion(digBase, digSize),
 		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }

@@ -31,10 +31,12 @@ func RunMatmul(cfg ivy.Config, par MatmulParams) (Result, error) {
 	var check float64
 	var sampled [4]float64
 	var sampleIdx [4]int
+	var digBase, digSize uint64
 	err := cluster.Run(func(p *ivy.Proc) {
 		a := AllocF64(p, n*n)
 		b := AllocF64(p, n*n)
 		cm := AllocF64(p, n*n)
+		digBase, digSize = cm.Base, 8*uint64(n*n)
 		p.LabelRegion("A", a.Base, 8*uint64(n*n))
 		p.LabelRegion("B", b.Base, 8*uint64(n*n))
 		p.LabelRegion("C", cm.Base, 8*uint64(n*n))
@@ -134,6 +136,7 @@ func RunMatmul(cfg ivy.Config, par MatmulParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Digest:     cluster.DigestRegion(digBase, digSize),
 		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }

@@ -47,11 +47,19 @@ func RunPDE3D(cfg ivy.Config, par PDE3DParams) (Result, error) {
 	pts := n * n * n
 	idx := func(i, j, k int) int { return (k*n+j)*n + i }
 	var check float64
+	var digBase, digSize uint64
 	err := cluster.Run(func(p *ivy.Proc) {
 		// 4-byte reals, as the Pascal original would store them.
 		u := AllocF32(p, pts)
 		un := AllocF32(p, pts)
 		f := AllocF32(p, pts)
+		// The final iterate lives in u or un depending on parity.
+		if par.Iters%2 == 1 {
+			digBase = un.Base
+		} else {
+			digBase = u.Base
+		}
+		digSize = 4 * uint64(pts)
 		p.LabelRegion("u", u.Base, 4*uint64(pts))
 		p.LabelRegion("unew", un.Base, 4*uint64(pts))
 		p.LabelRegion("f", f.Base, 4*uint64(pts))
@@ -152,6 +160,7 @@ func RunPDE3D(cfg ivy.Config, par PDE3DParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Digest:     cluster.DigestRegion(digBase, digSize),
 		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }

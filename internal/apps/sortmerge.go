@@ -41,8 +41,10 @@ func RunSortMerge(cfg ivy.Config, par SortParams) (Result, error) {
 	blockLen := par.Records / blocks
 	var check float64
 	var sortedOK bool
+	var digBase, digSize uint64
 	err := cluster.Run(func(p *ivy.Proc) {
 		vec := p.MustMalloc(uint64(par.Records * recordSize))
+		digBase, digSize = vec, uint64(par.Records*recordSize)
 		p.LabelRegion("records", vec, uint64(par.Records*recordSize))
 		keyAt := func(i int) uint64 { return vec + uint64(i*recordSize) }
 		payAt := func(i int) uint64 { return keyAt(i) + 8 }
@@ -159,6 +161,7 @@ func RunSortMerge(cfg ivy.Config, par SortParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Digest:     cluster.DigestRegion(digBase, digSize),
 		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }

@@ -71,6 +71,7 @@ func RunTSP(cfg ivy.Config, par TSPParams) (Result, error) {
 	expand([]int{0}, 0)
 
 	var check float64
+	var digBase, digSize uint64
 	err := cluster.Run(func(p *ivy.Proc) {
 		// Shared state: weight matrix, upper bound, pool.
 		w := AllocF64(p, n*n)
@@ -83,6 +84,10 @@ func RunTSP(cfg ivy.Config, par TSPParams) (Result, error) {
 		// value page separately.
 		ubLock := p.NewLock()
 		ubAddr := ubLock.Addr() + 8
+		// Only the bound is schedule-independent: the pool's branch
+		// records drain in work-stealing order, so their residue differs
+		// run to run. Digest the one word every schedule agrees on.
+		digBase, digSize = ubAddr, 8
 		p.LabelRegion("bound", ubLock.Addr(), 16)
 		// Workers read the bound without its lock (readUB): the bound only
 		// ever decreases, so a stale read merely prunes less — the paper's
@@ -133,6 +138,7 @@ func RunTSP(cfg ivy.Config, par TSPParams) (Result, error) {
 		Stats:      cluster.Snapshot(),
 		Latency:    cluster.Latencies(),
 		Check:      check,
+		Digest:     cluster.DigestRegion(digBase, digSize),
 		Metrics:    cluster.MetricsSnapshot(),
 	}, nil
 }

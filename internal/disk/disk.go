@@ -79,6 +79,11 @@ func (d *Disk) Read(f *sim.Fiber, p mmu.PageID) []byte {
 	return out
 }
 
+// Peek returns page p's disk image without charging I/O time or
+// counting a read — nil if the page has none. Post-run inspection only
+// (memory digests); the simulated system itself always pays Read.
+func (d *Disk) Peek(p mmu.PageID) []byte { return d.store[p] }
+
 // Has reports whether page p has a disk image.
 func (d *Disk) Has(p mmu.PageID) bool {
 	_, ok := d.store[p]

@@ -17,20 +17,23 @@ var determinismScope = map[string]bool{
 	"core": true, "sim": true, "ring": true, "remop": true, "disk": true,
 	"memfs": true, "ec": true, "proc": true, "alloc": true, "apps": true,
 	"harness": true, "chaos": true, "drace": true, "metrics": true,
-	"parallel": true,
+	"parallel": true, "tcpnet": true,
 }
 
-// hostWorldComponents are in-scope packages that orchestrate *between*
-// independent simulations rather than inside one: internal/parallel
-// spreads whole engines across host cores and times them, so bare
-// goroutines and wall-clock reads are its whole point. The allowance is
-// scoped — goroutines anywhere else in the simulated world still fail —
-// and deliberately partial: the global math/rand ban stays, because a
-// random draw in host-world orchestration is a determinism leak no
-// matter which world it runs in (it would survive into retry ordering,
-// sampled logging, and anything else that feeds back into results).
+// hostWorldComponents are in-scope packages that live on the host side
+// of the world boundary by design: internal/parallel spreads whole
+// engines across host cores and times them, and internal/tcpnet carries
+// the protocol's frames over real sockets with reader/writer goroutines
+// paced by the wall clock — so bare goroutines and wall-clock reads are
+// their whole point. The allowance is scoped — goroutines anywhere else
+// in the simulated world still fail — and deliberately partial: the
+// global math/rand ban stays, because a random draw in host-world
+// orchestration is a determinism leak no matter which world it runs in
+// (it would survive into retry ordering, sampled logging, and anything
+// else that feeds back into results).
 var hostWorldComponents = map[string]bool{
 	"parallel": true,
+	"tcpnet":   true,
 }
 
 // forbiddenTimeFuncs are the package time functions that read or wait on

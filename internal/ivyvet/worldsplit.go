@@ -19,8 +19,9 @@ import (
 //   - channel operations and sync/sync-atomic objects are host
 //     primitives; inside the simulated world they may appear only in
 //     functions annotated //ivy:hostworld, and that annotation is legal
-//     only in internal/sim (the fiber machinery) and internal/parallel
-//     — the two sanctioned host components;
+//     only in the sanctioned host components: internal/sim (the fiber
+//     machinery), internal/parallel, and internal/tcpnet (the real-
+//     network transport backend);
 //
 //   - no simulated-world function may call into internal/parallel (the
 //     between-runs host-parallelism layer) or transitively reach host
@@ -38,7 +39,7 @@ import (
 var WorldsplitAnalyzer = &analysis.Analyzer{
 	Name: "worldsplit",
 	Doc: "forbid channel/sync primitives and reaching host-world code inside simulated-world packages; " +
-		"//ivy:hostworld in internal/sim and internal/parallel marks the only sanctioned host machinery",
+		"//ivy:hostworld in internal/sim, internal/parallel, and internal/tcpnet marks the only sanctioned host machinery",
 	Run: runWorldsplit,
 }
 
@@ -53,10 +54,12 @@ var hostOrchestrators = []string{
 }
 
 // hostworldComponentsAllowed are the components where //ivy:hostworld
-// may appear (DESIGN §12's "only allowed host components").
+// may appear (DESIGN §12's "only allowed host components", extended by
+// §13 with the real-network transport backend).
 var hostworldComponentsAllowed = map[string]bool{
 	"sim":      true,
 	"parallel": true,
+	"tcpnet":   true,
 }
 
 // worldsplitInScope reports whether a package path is simulated-world
@@ -119,7 +122,8 @@ func runWorldsplit(pass *analysis.Pass) (interface{}, error) {
 			}
 			if !hostworldComponentsAllowed[component] {
 				pass.Reportf(fd.Pos(),
-					"//ivy:hostworld on %s: the annotation is only legal in internal/sim and internal/parallel; "+
+					"//ivy:hostworld on %s: the annotation is only legal in the sanctioned host components "+
+						"(internal/sim, internal/parallel, internal/tcpnet); "+
 						"other simulated-world code must stay free of host primitives", fd.Name.Name)
 				continue
 			}
@@ -270,7 +274,13 @@ func buildWorldsplitFacts(g *callgraph.Graph) *worldsplitFacts {
 			continue
 		}
 		if hostWorldComponents[comp] {
-			f.seeds[n] = "host-parallelism component internal/parallel"
+			// Keep internal/parallel's historical wording (goldens pin
+			// it); other host components get the generic form.
+			if comp == "parallel" {
+				f.seeds[n] = "host-parallelism component internal/parallel"
+			} else {
+				f.seeds[n] = "host component internal/" + comp
+			}
 			continue
 		}
 		if !worldsplitInScope(n.PathNoTest()) {

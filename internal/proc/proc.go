@@ -179,9 +179,13 @@ func (c *Cluster) SetRaceDetector(d *drace.Detector) { c.race = d }
 // Entry i of svms/eps/cpus/sts belongs to node i.
 func NewCluster(eng *sim.Engine, svms []*core.SVM, bal BalanceConfig) *Cluster {
 	c := &Cluster{eng: eng, procs: make(map[uint64]*Process)}
-	for i, s := range svms {
+	for _, s := range svms {
+		// The node id comes from the endpoint, not the slice index: a
+		// single-process cluster passes all N SVMs (ids 0..N-1), while an
+		// ivynode process passes only its own SVM, whose endpoint already
+		// carries its rank in the multi-process cluster.
 		n := &Node{
-			id:      ring.NodeID(i),
+			id:      s.Endpoint().ID(),
 			eng:     eng,
 			cpu:     s.CPU(),
 			svm:     s,
@@ -293,7 +297,15 @@ func (n *Node) startNull() {
 				f.Park("idle (null process)")
 				continue
 			}
-			f.Sleep(n.bal.Interval)
+			// A zero interval would re-run this loop at one frozen
+			// virtual instant forever; under a host-time driver that
+			// starves externally injected events, which land at the
+			// driver's (advancing) clock. Sleep a real duration.
+			iv := n.bal.Interval
+			if iv <= 0 {
+				iv = 10 * time.Millisecond
+			}
+			f.Sleep(iv)
 			if n.stopped || n.current != nil || len(n.ready) > 0 {
 				continue
 			}

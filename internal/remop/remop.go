@@ -153,7 +153,7 @@ func (p *pending) failErr() error {
 // Endpoint is one node's attachment to the remote operation layer.
 type Endpoint struct {
 	eng   *sim.Engine
-	nw    *ring.Network
+	nw    ring.Transport
 	id    ring.NodeID
 	cpu   *sim.Resource
 	costs model.Costs
@@ -249,7 +249,7 @@ var ErrNodeDown = fmt.Errorf("remop: destination node down: %w", ErrCallFailed)
 // NewEndpoint attaches a node to the network. cpu is the node's processor
 // resource, shared with the process scheduler; loadFn supplies the load
 // hint stamped on every outgoing envelope.
-func NewEndpoint(eng *sim.Engine, nw *ring.Network, id ring.NodeID, cpu *sim.Resource, costs model.Costs, loadFn func() uint8, opts ...Option) *Endpoint {
+func NewEndpoint(eng *sim.Engine, nw ring.Transport, id ring.NodeID, cpu *sim.Resource, costs model.Costs, loadFn func() uint8, opts ...Option) *Endpoint {
 	ep := &Endpoint{
 		eng:           eng,
 		nw:            nw,

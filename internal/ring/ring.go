@@ -104,6 +104,44 @@ type Stats struct {
 	Kinds [wire.NumKinds]KindStats
 }
 
+// Transport is the interconnect surface the protocol layers (remop and
+// everything above it) program against: attach a per-station delivery
+// handler, send point-to-point or broadcast frames, read the exact
+// traffic accounting, and mark stations down (the hook the crash plane
+// and a real backend's link-failure detection both use). Two backends
+// implement it — *Network, the deterministic simulated token ring, and
+// tcpnet.Net, which carries the same closed wire vocabulary over real
+// TCP connections between processes. Protocol code must not assume which
+// backend it runs on; sim-only features (loss injection, fault
+// injectors, span tracing) stay on the concrete *Network.
+type Transport interface {
+	// Size returns the cluster size (number of stations).
+	Size() int
+	// Attach registers the delivery handler for station id. A backend
+	// that hosts a single station still accepts only its own id.
+	Attach(id NodeID, h Handler)
+	// Send transmits pkt without blocking the caller; delivery invokes
+	// the destination's handler in engine context. Dst == Broadcast
+	// reaches every station except the sender.
+	Send(pkt *Packet)
+	// Stats returns a snapshot of the traffic counters. Every backend
+	// maintains the exact per-attempt accounting invariant
+	// Attempts == Delivered + Dropped.
+	Stats() Stats
+	// NodeKinds returns the per-station per-kind transmission counters.
+	NodeKinds() [][wire.NumKinds]KindStats
+	// SetNodeDown marks station id crashed or recovered: frames to and
+	// from a down station are dropped.
+	SetNodeDown(id NodeID, isDown bool)
+	// Close releases host resources (sockets, goroutines). The simulated
+	// ring holds none; real backends shut down their connections.
+	Close() error
+}
+
+// The simulated ring is a Transport (satellite audit: concrete callers
+// go through this interface; sim-only hooks stay on *Network).
+var _ Transport = (*Network)(nil)
+
 // Network is the simulated token ring.
 type Network struct {
 	eng      *sim.Engine
@@ -197,6 +235,10 @@ func (nw *Network) NodeKinds() [][wire.NumKinds]KindStats {
 // SetTracer installs a span collector. Traced packets (Trace != 0) get a
 // wire span from transmission start to delivery.
 func (nw *Network) SetTracer(c *trace.Collector) { nw.trc = c }
+
+// Close implements Transport. The simulated ring owns no host resources,
+// so there is nothing to release.
+func (nw *Network) Close() error { return nil }
 
 // BusyUntil returns the virtual time through which the wire is reserved —
 // the sampler derives ring utilization from the WireBusy counter, and

@@ -102,6 +102,11 @@ type Engine struct {
 	// scheduling allocation-free in steady state without perturbing
 	// reproducibility — recycled structs are fully overwritten on reuse.
 	free []*event
+
+	// ext, when non-nil, is the external work source of a real-transport
+	// run (see External). Nil — the deterministic default — costs one
+	// predicted branch per dispatch step.
+	ext External
 }
 
 // New returns an engine whose random source is seeded with seed.
@@ -305,6 +310,11 @@ func (e *Engine) RunUntil(limit Time) error {
 //ivy:hostworld token-handoff channel handshake between fiber goroutines
 func (e *Engine) dispatch(self *Fiber, dying bool) {
 	for !e.stopped {
+		// With an external source installed (real-transport runs only),
+		// pull injected work in before choosing the next event.
+		if e.ext != nil {
+			e.ext.Drain(e.injectExternal)
+		}
 		// Extract the globally next event in (at, seq) order from the
 		// two queues. The FIFO's head, when present, is always at the
 		// current timestamp, so the heap wins only with an equal-time
@@ -321,6 +331,14 @@ func (e *Engine) dispatch(self *Fiber, dying bool) {
 			e.nowQ.pop()
 		}
 		if ev == nil {
+			// Externally-driven runs park here instead of draining: live
+			// fibers may be waiting on frames a remote process has yet to
+			// send. Wait returns on injection, pacing, or source close;
+			// the horizon still bounds the run.
+			if e.ext != nil && e.live > 0 && e.ext.Now() < e.limit {
+				e.ext.Wait(e.limit)
+				continue
+			}
 			break
 		}
 		fn, fb := ev.fn, ev.fiber
@@ -334,6 +352,14 @@ func (e *Engine) dispatch(self *Fiber, dying bool) {
 			// Keep it for a future RunUntil with a later horizon.
 			e.heap.push(ev)
 			break
+		}
+		if e.ext != nil && ev.at > e.ext.Now() {
+			// Host pacing: the event is in this run's horizon but ahead
+			// of the host clock. Put it back and wait — injections
+			// arriving meanwhile run first, at earlier virtual times.
+			e.heap.push(ev)
+			e.ext.Wait(ev.at)
+			continue
 		}
 		e.now = ev.at
 		e.eventCount++

@@ -1,0 +1,94 @@
+package tcpnet_test
+
+// Stats accounting invariants, asserted for BOTH Transport backends on
+// the same workload: the ring.Transport contract promises exact
+// per-attempt accounting (Attempts == Delivered + Dropped, DownDrops a
+// subset of Dropped) and per-kind decompositions that sum back to the
+// totals. The simulated ring and the TCP backend maintain the counters
+// in completely different places (one engine event loop vs. per-process
+// mutex-guarded maps fed by socket goroutines), so holding the same
+// invariants is a real check, not a bookkeeping tautology.
+
+import (
+	"testing"
+
+	ivy "repro"
+	"repro/internal/ring"
+)
+
+func checkStatsInvariants(t *testing.T, label string, st ring.Stats) {
+	t.Helper()
+	if st.Packets == 0 {
+		t.Errorf("%s: no packets at all — the workload did not exercise the transport", label)
+	}
+	if st.Attempts != st.Delivered+st.Dropped {
+		t.Errorf("%s: Attempts (%d) != Delivered (%d) + Dropped (%d)",
+			label, st.Attempts, st.Delivered, st.Dropped)
+	}
+	if st.DownDrops > st.Dropped {
+		t.Errorf("%s: DownDrops (%d) exceeds Dropped (%d)", label, st.DownDrops, st.Dropped)
+	}
+	var kp, kb, kd uint64
+	for k := range st.Kinds {
+		kp += st.Kinds[k].Packets
+		kb += st.Kinds[k].Bytes
+		kd += st.Kinds[k].Drops
+	}
+	if kp != st.Packets {
+		t.Errorf("%s: per-kind packets sum to %d, total says %d", label, kp, st.Packets)
+	}
+	if kb != st.Bytes {
+		t.Errorf("%s: per-kind bytes sum to %d, total says %d", label, kb, st.Bytes)
+	}
+	if kd != st.Dropped {
+		t.Errorf("%s: per-kind drops sum to %d, total says %d", label, kd, st.Dropped)
+	}
+}
+
+// TestStatsInvariantsBothBackends runs the same cross-node workload over
+// the simulated ring and over TCP loopback and holds each backend's
+// final snapshot to the ring.Transport accounting contract. On a healthy
+// run nothing may be silently lost: every attempt must be accounted a
+// delivery or a counted drop.
+func TestStatsInvariantsBothBackends(t *testing.T) {
+	for _, transport := range []string{ivy.TransportSim, ivy.TransportTCPLoopback} {
+		transport := transport
+		t.Run(transport, func(t *testing.T) {
+			t.Parallel()
+			cluster := ivy.New(conformanceConfig(ivy.DynamicDistributed, transport))
+			var sum uint64
+			err := cluster.Run(func(p *ivy.Proc) {
+				// Every processor writes its own stripe of a shared array,
+				// then the main process reads it all back: each stripe
+				// crosses the transport at least twice (invalidate toward
+				// the writer, page toward the reader).
+				const perProc = 64
+				procs := cluster.Processors()
+				data := p.MustMalloc(8 * uint64(perProc*procs))
+				done := p.NewEventcount(8)
+				for w := 0; w < procs; w++ {
+					w := w
+					p.CreateOn(w, func(q *ivy.Proc) {
+						base := data + uint64(8*perProc*w)
+						for i := 0; i < perProc; i++ {
+							q.WriteU64(base+uint64(8*i), uint64(w*perProc+i))
+						}
+						done.Advance(q)
+					})
+				}
+				done.Wait(p, int64(procs))
+				for i := 0; i < perProc*procs; i++ {
+					sum += p.ReadU64(data + uint64(8*i))
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := uint64(64 * 3)
+			if want := n * (n - 1) / 2; sum != want {
+				t.Fatalf("workload computed %d, want %d", sum, want)
+			}
+			checkStatsInvariants(t, transport, cluster.NetworkStats())
+		})
+	}
+}

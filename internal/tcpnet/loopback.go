@@ -1,0 +1,108 @@
+package tcpnet
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Loopback assembles an n-station cluster whose stations share one
+// process and one engine but exchange every frame through real TCP
+// connections on 127.0.0.1 — the cross-transport conformance
+// configuration. The protocol traffic traverses actual sockets (kernel
+// buffering, host scheduling, reconnects and all); only the engine is
+// shared, which is what lets a test compare the run's final memory
+// against the deterministic simulation directly.
+type Loopback struct {
+	drv  *Driver
+	nets []*Net
+}
+
+// NewLoopback creates n stations listening on ephemeral 127.0.0.1
+// ports, fully meshed. The returned Loopback's Driver must be installed
+// on the engine (sim.Engine.SetExternal) before running.
+//
+//ivy:hostworld assembles the loopback mesh of host TCP stations
+func NewLoopback(eng *sim.Engine, n int, scale int64, opts Options) (*Loopback, error) {
+	lb := &Loopback{drv: NewDriver(scale)}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		nt := New(eng, lb.drv, ring.NodeID(i), n, opts)
+		addr, err := nt.Listen("127.0.0.1:0")
+		if err != nil {
+			lb.Close()
+			return nil, fmt.Errorf("tcpnet: loopback station %d: %w", i, err)
+		}
+		lb.nets = append(lb.nets, nt)
+		addrs[i] = addr
+	}
+	for i, nt := range lb.nets {
+		for j, addr := range addrs {
+			if i != j {
+				nt.SetPeer(ring.NodeID(j), addr)
+			}
+		}
+	}
+	return lb, nil
+}
+
+// Driver returns the shared engine bridge.
+//
+//ivy:hostworld accessor of the host transport assembly
+func (lb *Loopback) Driver() *Driver { return lb.drv }
+
+// Net returns station i's transport.
+//
+//ivy:hostworld accessor of the host transport assembly
+func (lb *Loopback) Net(i int) *Net { return lb.nets[i] }
+
+// Stats sums the per-station counters into one cluster-wide view, the
+// shape Cluster.NetworkStats reports for the simulated ring. (WireBusy
+// stays zero: a switched network has no shared medium to reserve.)
+//
+//ivy:hostworld aggregates counters shared with host goroutines
+func (lb *Loopback) Stats() ring.Stats {
+	var out ring.Stats
+	for _, nt := range lb.nets {
+		s := nt.Stats()
+		out.Packets += s.Packets
+		out.Bytes += s.Bytes
+		out.Attempts += s.Attempts
+		out.Delivered += s.Delivered
+		out.Dropped += s.Dropped
+		out.DownDrops += s.DownDrops
+		out.Duplicated += s.Duplicated
+		out.Delayed += s.Delayed
+		out.TxSuppressed += s.TxSuppressed
+		for k := range s.Kinds {
+			out.Kinds[k].Packets += s.Kinds[k].Packets
+			out.Kinds[k].Bytes += s.Kinds[k].Bytes
+			out.Kinds[k].Drops += s.Kinds[k].Drops
+		}
+	}
+	return out
+}
+
+// NodeKinds merges the per-station rows (station i's own row is the
+// only populated one in its local view).
+//
+//ivy:hostworld aggregates counters shared with host goroutines
+func (lb *Loopback) NodeKinds() [][wire.NumKinds]ring.KindStats {
+	out := make([][wire.NumKinds]ring.KindStats, len(lb.nets))
+	for i, nt := range lb.nets {
+		out[i] = nt.NodeKinds()[i]
+	}
+	return out
+}
+
+// Close shuts every station down, then the driver. Idempotent.
+//
+//ivy:hostworld joins the host goroutines of every station
+func (lb *Loopback) Close() {
+	for _, nt := range lb.nets {
+		nt.Close()
+	}
+	lb.drv.Close()
+}

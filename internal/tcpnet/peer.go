@@ -1,0 +1,181 @@
+package tcpnet
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ring"
+)
+
+// peer is the outbound side of one link: a bounded frame queue fed by
+// Send (engine context) and drained by a dedicated writer goroutine
+// that owns the connection and its reconnect state. The inbound side of
+// the same link is the remote station's peer for us; the two directions
+// use independent TCP connections, so no hello handshake is needed —
+// every frame names its sender.
+type peer struct {
+	n    *Net
+	id   ring.NodeID
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      [][]byte
+	conn   net.Conn // current connection, stored so close can interrupt a blocked write
+	closed bool
+
+	// queued counts frames ever enqueued; settled counts frames whose
+	// fate is decided (written to a connection or evicted). The pair lets
+	// shutdown ask "is everything I accepted on the wire?" without
+	// tracking the writer's frame-in-hand separately.
+	queued  uint64
+	settled uint64
+}
+
+// enqueue appends one encoded frame. Returns the frame evicted to stay
+// under max (nil if none) and ok=false if the peer is closed.
+func (p *peer) enqueue(buf []byte, max int) (dropped []byte, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, false
+	}
+	if len(p.q) >= max {
+		dropped = p.q[0]
+		p.q = p.q[1:]
+		p.settled++ // evicted: its fate is decided
+	}
+	p.q = append(p.q, buf)
+	p.queued++
+	p.cond.Signal()
+	return dropped, true
+}
+
+// settle records one taken frame's fate as decided (written or lost to
+// a close).
+func (p *peer) settle() {
+	p.mu.Lock()
+	p.settled++
+	p.mu.Unlock()
+}
+
+// drained reports whether every accepted frame has been written out (or
+// evicted): the queue is empty and the writer holds no frame in hand.
+func (p *peer) drained() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.q) == 0 && p.queued == p.settled
+}
+
+// take blocks until a frame is queued or the peer closes.
+func (p *peer) take() ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.q) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		return nil, false
+	}
+	buf := p.q[0]
+	p.q = p.q[1:]
+	return buf, true
+}
+
+// close releases the writer goroutine and severs the connection (which
+// also unblocks a write stuck in the kernel).
+func (p *peer) close() {
+	p.mu.Lock()
+	p.closed = true
+	c := p.conn
+	p.conn = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// setConn records the live connection for close to interrupt.
+func (p *peer) setConn(c net.Conn) (stillOpen bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conn = c
+	return true
+}
+
+// writerLoop drains the queue onto the connection, dialing on demand
+// and redialing with exponential backoff on failure. One frame is in
+// hand at a time; it survives reconnects (at-least-once per frame once
+// queued — TCP may deliver a duplicate of a frame that was mid-write
+// when the connection died, which the remote-operation layer's
+// duplicate suppression absorbs). Down hints: the first dial failure
+// reports the peer down, the next success reports it back up.
+func (p *peer) writerLoop() {
+	defer p.n.wg.Done()
+	var conn net.Conn
+	for {
+		buf, ok := p.take()
+		if !ok {
+			if conn != nil {
+				conn.Close()
+			}
+			return
+		}
+		for {
+			if conn == nil {
+				conn = p.dial()
+				if conn == nil {
+					p.settle() // closed while redialing: frame abandoned
+					return
+				}
+			}
+			if _, err := conn.Write(buf); err == nil {
+				p.settle()
+				break
+			}
+			conn.Close()
+			conn = nil
+			p.n.peerState(p.id, true)
+		}
+	}
+}
+
+// dial connects to the peer, sleeping the exponential backoff between
+// failures, until it succeeds or the peer closes (nil). The backoff
+// schedule is min(base<<k, max) after the k-th consecutive failure.
+func (p *peer) dial() net.Conn {
+	opts := p.n.opts
+	attempt := 0
+	for {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return nil
+		}
+		c, err := net.DialTimeout("tcp", p.addr, opts.DialTimeout)
+		if err == nil {
+			if !p.setConn(c) {
+				c.Close()
+				return nil
+			}
+			p.n.peerState(p.id, false)
+			return c
+		}
+		p.n.peerState(p.id, true)
+		attempt++
+		delay := opts.BackoffBase << (attempt - 1)
+		if delay > opts.BackoffMax || delay <= 0 {
+			delay = opts.BackoffMax
+		}
+		if hook := opts.OnDialAttempt; hook != nil {
+			hook(p.id, attempt, delay)
+		}
+		time.Sleep(delay)
+	}
+}

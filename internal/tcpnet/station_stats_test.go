@@ -1,0 +1,122 @@
+package tcpnet
+
+// Per-station accounting invariants over real sockets. In the
+// multi-process deployment the loopback aggregate does not exist — each
+// ivynode sees only its own station's counters — so the ring.Transport
+// contract (Attempts == Delivered + Dropped exactly, DownDrops a subset
+// of Dropped, per-kind decompositions summing back to the totals) must
+// hold for every local view individually, with the counters fed
+// concurrently by writer goroutines, connection readers, and the
+// down-marking path.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ring"
+)
+
+func checkStationStats(t *testing.T, label string, st ring.Stats) {
+	t.Helper()
+	if st.Packets == 0 {
+		t.Errorf("%s: no packets at all", label)
+	}
+	if st.Attempts != st.Delivered+st.Dropped {
+		t.Errorf("%s: Attempts (%d) != Delivered (%d) + Dropped (%d)",
+			label, st.Attempts, st.Delivered, st.Dropped)
+	}
+	if st.DownDrops > st.Dropped {
+		t.Errorf("%s: DownDrops (%d) exceeds Dropped (%d)", label, st.DownDrops, st.Dropped)
+	}
+	var kp, kb, kd uint64
+	for k := range st.Kinds {
+		kp += st.Kinds[k].Packets
+		kb += st.Kinds[k].Bytes
+		kd += st.Kinds[k].Drops
+	}
+	if kp != st.Packets {
+		t.Errorf("%s: per-kind packets sum to %d, total says %d", label, kp, st.Packets)
+	}
+	if kb != st.Bytes {
+		t.Errorf("%s: per-kind bytes sum to %d, total says %d", label, kb, st.Bytes)
+	}
+	if kd != st.Dropped {
+		t.Errorf("%s: per-kind drops sum to %d, total says %d", label, kd, st.Dropped)
+	}
+}
+
+// TestStatsInvariantsPerStation meshes three real stations, pushes
+// unicasts, broadcasts, and a deliberate send-to-marked-down peer
+// through them, and holds each station's own snapshot to the accounting
+// contract once every live frame has settled.
+func TestStatsInvariantsPerStation(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	sts := make([]*station, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		sts[i] = newStation(t, ring.NodeID(i), n, fastOpts())
+		addr, err := sts[i].net.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				sts[i].net.SetPeer(ring.NodeID(j), addrs[j])
+			}
+		}
+	}
+
+	// Unicasts in every direction, plus one broadcast per station: each
+	// peer of a broadcaster receives one copy, so every station expects
+	// (n-1) unicasts + (n-1) broadcast copies.
+	tag := byte(1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				sts[i].net.Send(&ring.Packet{Src: ring.NodeID(i), Dst: ring.NodeID(j), Payload: ping(tag)})
+				tag++
+			}
+		}
+		sts[i].net.Send(&ring.Packet{Src: ring.NodeID(i), Dst: ring.Broadcast, Payload: ping(tag)})
+		tag++
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		waitFor(t, fmt.Sprintf("station %d deliveries", i), func() bool {
+			return sts[i].received() >= 2*(n-1)
+		})
+	}
+
+	// One counted drop: station 0 marks peer 2 down (remop's down-hint
+	// path) and sends anyway. The drop must land in Dropped, DownDrops,
+	// and the kind row — then the mark is lifted so teardown is clean.
+	sts[0].net.SetNodeDown(2, true)
+	sts[0].net.Send(&ring.Packet{Src: 0, Dst: 2, Payload: ping(tag)})
+	sts[0].net.SetNodeDown(2, false)
+	waitFor(t, "down-drop accounted", func() bool {
+		return sts[0].net.Stats().DownDrops >= 1
+	})
+	for i := 0; i < n; i++ {
+		i := i
+		waitFor(t, fmt.Sprintf("station %d drained", i), func() bool {
+			return sts[i].net.OutboundDrained()
+		})
+	}
+
+	for i := 0; i < n; i++ {
+		st := sts[i].net.Stats()
+		checkStationStats(t, fmt.Sprintf("station %d", i), st)
+		if i == 0 {
+			if st.DownDrops != 1 || st.Dropped != 1 {
+				t.Errorf("station 0: DownDrops = %d, Dropped = %d, want exactly 1 each",
+					st.DownDrops, st.Dropped)
+			}
+		} else if st.Dropped != 0 {
+			t.Errorf("station %d: Dropped = %d on a healthy run", i, st.Dropped)
+		}
+	}
+}

@@ -157,7 +157,7 @@ func (p *Proc) LocalOps(n int) { p.inner.LocalOps(n) }
 // Malloc allocates n bytes of shared memory (page-aligned, from the
 // central first-fit manager or the node's two-level allocator).
 func (p *Proc) Malloc(n uint64) (uint64, error) {
-	svc := p.c.allocs[p.NodeID()]
+	svc := p.c.allocFor(p.NodeID())
 	return svc.Alloc(p.inner.Fiber(), n)
 }
 
@@ -173,7 +173,7 @@ func (p *Proc) MustMalloc(n uint64) uint64 {
 
 // FreeMem releases a block obtained from Malloc.
 func (p *Proc) FreeMem(addr uint64) error {
-	svc := p.c.allocs[p.NodeID()]
+	svc := p.c.allocFor(p.NodeID())
 	return svc.Free(p.inner.Fiber(), addr)
 }
 
