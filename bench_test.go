@@ -18,6 +18,7 @@ import (
 
 	ivy "repro"
 	"repro/internal/apps"
+	"repro/internal/cli"
 	"repro/internal/harness"
 )
 
@@ -202,6 +203,61 @@ func BenchmarkAblationMigration(b *testing.B) {
 		}
 		b.ReportMetric(rows[0].Elapsed.Seconds(), "off_vsec")
 		b.ReportMetric(rows[1].Elapsed.Seconds(), "on_vsec")
+	}
+}
+
+// rcFalseSharingConfig is the headline release-consistency experiment:
+// a Jacobi system small enough that the solution vector's pages are
+// falsely shared — at N=256 and 4 KB pages, x and xn each span half a
+// page, so all eight workers write the same page every iteration. Under
+// write-invalidate SC that page ping-pongs per write run; under RC each
+// worker ships one word-level diff per iteration.
+func rcFalseSharingConfig(coherence string, alg ivy.Algorithm) (apps.Result, error) {
+	return apps.RunJacobi(
+		ivy.Config{Processors: 8, PageSize: 4096, Seed: 1, Coherence: coherence, Algorithm: alg},
+		apps.JacobiParams{N: 256, Iters: 12, Seed: 7})
+}
+
+// BenchmarkRCFalseSharing compares total message bytes and ownership
+// transfers between release consistency and every SC manager on the
+// false-sharing workload. The rc_vs_best_sc metric is the headline:
+// RC bytes as a fraction of the cheapest SC manager's (< 0.70 is the
+// acceptance bar). Ownership transfers are write faults that moved a
+// page under SC, mastership hand-offs under RC.
+func BenchmarkRCFalseSharing(b *testing.B) {
+	managers := []string{"dynamic", "centralized", "fixed", "broadcast", "basic"}
+	for i := 0; i < b.N; i++ {
+		best := ^uint64(0)
+		for _, name := range managers {
+			alg, err := cli.ParseManager(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := rcFalseSharingConfig(ivy.CoherenceSC, alg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var xfers uint64
+			for _, n := range res.Stats.Nodes {
+				xfers += n.SVM.WriteFaults - n.SVM.LocalUpgrades
+			}
+			b.ReportMetric(float64(res.Stats.NetBytes), name+"_sc_bytes")
+			b.ReportMetric(float64(xfers), name+"_sc_xfers")
+			if res.Stats.NetBytes < best {
+				best = res.Stats.NetBytes
+			}
+		}
+		res, err := rcFalseSharingConfig(ivy.CoherenceRC, ivy.Algorithm(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var handoffs uint64
+		for _, s := range res.RC {
+			handoffs += s.Rebinds
+		}
+		b.ReportMetric(float64(res.Stats.NetBytes), "rc_bytes")
+		b.ReportMetric(float64(handoffs), "rc_handoffs")
+		b.ReportMetric(float64(res.Stats.NetBytes)/float64(best), "rc_vs_best_sc")
 	}
 }
 

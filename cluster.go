@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mmu"
 	"repro/internal/proc"
+	"repro/internal/rc"
 	"repro/internal/remop"
 	"repro/internal/ring"
 	"repro/internal/sim"
@@ -68,6 +69,21 @@ func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	if cfg.Processors < 1 || cfg.Processors > 64 {
 		panic(fmt.Sprintf("ivy: %d processors out of range [1,64]", cfg.Processors))
+	}
+	switch cfg.Coherence {
+	case CoherenceSC, CoherenceRC:
+	default:
+		panic(fmt.Sprintf("ivy: unknown coherence mode %q", cfg.Coherence))
+	}
+	// Under release consistency the shared space doubles: pages
+	// [0, SharedPages) are the RC data arena, pages [SharedPages,
+	// 2*SharedPages) are the SC sync arena holding locks, eventcounts,
+	// sequencers, and stacks (see DESIGN.md §14). User allocations and
+	// digests see exactly the SharedPages-sized space they asked for.
+	rcOn := cfg.Coherence == CoherenceRC
+	numPages := cfg.SharedPages
+	if rcOn {
+		numPages *= 2
 	}
 	if cfg.DRace {
 		// The detector hooks live on the checked access tails; the TLB
@@ -127,7 +143,7 @@ func New(cfg Config) *Cluster {
 		svm := core.New(eng, ep, cpu, core.Config{
 			Node:                  ring.NodeID(i),
 			PageSize:              cfg.PageSize,
-			NumPages:              cfg.SharedPages,
+			NumPages:              numPages,
 			MemPages:              cfg.MemoryPages,
 			DefaultOwner:          0,
 			Algorithm:             cfg.Algorithm,
@@ -136,14 +152,19 @@ func New(cfg Config) *Cluster {
 		}, st)
 		c.svms = append(c.svms, svm)
 		c.sts = append(c.sts, st)
-		c.allocs = append(c.allocs, alloc.New(ep, alloc.Config{
+		ac := alloc.Config{
 			Central:   0,
 			Base:      svm.Base(),
 			Size:      uint64(cfg.SharedPages) * uint64(cfg.PageSize),
 			PageSize:  cfg.PageSize,
 			TwoLevel:  cfg.TwoLevelAlloc,
 			ChunkSize: cfg.ChunkBytes,
-		}))
+		}
+		if rcOn {
+			ac.SyncBase = svm.Base() + ac.Size
+			ac.SyncSize = ac.Size
+		}
+		c.allocs = append(c.allocs, alloc.New(ep, ac))
 	}
 	if c.lb != nil {
 		// Reconnect down-hints: a peer the dialer cannot reach is marked
@@ -155,6 +176,14 @@ func New(cfg Config) *Cluster {
 			c.lb.Net(i).SetDownHook(func(peer ring.NodeID, down bool) {
 				ep.MarkNodeDown(peer, down)
 			})
+		}
+	}
+	if rcOn {
+		// Arm before the chaos plane (its DropWriteNotice hook needs the
+		// RC state) and before any process touches shared memory. The
+		// directory lives on node 0 beside the central allocator.
+		for _, svm := range c.svms {
+			svm.ArmRC(cfg.SharedPages, 0)
 		}
 	}
 	c.procs = proc.NewCluster(eng, c.svms, *cfg.Balance)
@@ -274,6 +303,14 @@ func (c *Cluster) armChaos(co ChaosOpts) {
 	if co.BreakInvalidation {
 		for _, svm := range c.svms {
 			svm.SetInvalDropHook(func(mmu.PageID) bool { return true })
+		}
+	}
+	if co.DropWriteNotice {
+		if c.cfg.Coherence != CoherenceRC {
+			panic("ivy: DropWriteNotice needs Coherence " + CoherenceRC)
+		}
+		for _, svm := range c.svms {
+			svm.SetRCNoticeDropHook(func() bool { return true })
 		}
 	}
 }
@@ -573,6 +610,25 @@ func (c *Cluster) Snapshot() ClusterStats {
 			row[i] = stats.KindCount{Packets: k.Packets, Bytes: k.Bytes, Drops: k.Drops}
 		}
 		out.NodeKinds = append(out.NodeKinds, row)
+	}
+	return out
+}
+
+// RCNodeStats re-exports the per-node release-consistency protocol
+// counters (zero-valued under Coherence "sc").
+type RCNodeStats = rc.Stats
+
+// RCStats returns each node's release-consistency protocol counters, or
+// nil when the cluster runs sequentially consistent. Index = node id.
+func (c *Cluster) RCStats() []RCNodeStats {
+	if c.cfg.Coherence != CoherenceRC {
+		return nil
+	}
+	out := make([]RCNodeStats, len(c.svms))
+	for i, svm := range c.svms {
+		if rcn := svm.RC(); rcn != nil {
+			out[i] = rcn.Stats()
+		}
 	}
 	return out
 }

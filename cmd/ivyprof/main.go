@@ -13,6 +13,13 @@
 //	ivyprof -app tsp -procs 8 -format json -o a.json       # machine-readable
 //	ivyprof -diff a.json b.json                            # compare two runs
 //
+// An RC-vs-SC traffic comparison is one command per side plus the diff;
+// the `total-traffic` line carries the headline B/A byte ratio:
+//
+//	ivyprof -app jacobi -procs 8 -format json -o sc.json
+//	ivyprof -app jacobi -procs 8 -coherence rc -format json -o rc.json
+//	ivyprof -diff sc.json rc.json | grep total-traffic
+//
 // Output is deterministic: the same (app, manager, procs, seed) produces
 // bit-identical bytes in every format (CI asserts this). A multi-app
 // report spreads the runs across host cores (-parallel) and still prints
@@ -38,6 +45,7 @@ func main() {
 	app := flag.String("app", "matmul", "benchmark (jacobi, pde3d, tsp, matmul, dotprod, sort), a comma list, or \"all\"")
 	procs := flag.Int("procs", 8, "processors (1..64)")
 	manager := flag.String("manager", "dynamic", "manager: dynamic, centralized, fixed, broadcast, basic")
+	coherence := cli.CoherenceFlag()
 	seed := flag.Int64("seed", 1, "simulation seed")
 	pageSize := flag.Int("pagesize", 1024, "page size in bytes (power of two)")
 	top := flag.Int("top", 10, "pages in the ranked report")
@@ -47,13 +55,13 @@ func main() {
 	parallelN := cli.ParallelFlag()
 	flag.Parse()
 
-	if err := run(*app, *procs, *manager, *seed, *pageSize, *top, *format, *out, *diff, *parallelN, flag.Args()); err != nil {
+	if err := run(*app, *procs, *manager, *coherence, *seed, *pageSize, *top, *format, *out, *diff, *parallelN, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "ivyprof: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, procs int, manager string, seed int64, pageSize, top int, format, out string, diff bool, parallelN int, args []string) error {
+func run(app string, procs int, manager, coherence string, seed int64, pageSize, top int, format, out string, diff bool, parallelN int, args []string) error {
 	w := io.Writer(os.Stdout)
 	if out != "" {
 		f, err := os.Create(out)
@@ -84,6 +92,10 @@ func run(app string, procs int, manager string, seed int64, pageSize, top int, f
 	if err != nil {
 		return err
 	}
+	coherence, err = cli.ParseCoherence(coherence)
+	if err != nil {
+		return err
+	}
 	names := strings.Split(app, ",")
 	if app == "all" {
 		names = apps.Names()
@@ -98,6 +110,7 @@ func run(app string, procs int, manager string, seed int64, pageSize, top int, f
 			Processors: procs,
 			PageSize:   pageSize,
 			Algorithm:  alg,
+			Coherence:  coherence,
 			Seed:       seed,
 			Profile:    true,
 		})
@@ -107,6 +120,7 @@ func run(app string, procs int, manager string, seed int64, pageSize, top int, f
 		return metrics.Build(metrics.Meta{
 			App:       name,
 			Manager:   manager,
+			Coherence: coherence,
 			Procs:     procs,
 			Seed:      seed,
 			PageSize:  uint64(pageSize),

@@ -31,6 +31,7 @@ func main() {
 	pageSize := flag.Int("pagesize", 1024, "page size in bytes (power of two)")
 	memPages := flag.Int("mempages", 0, "physical frames per node (0 = unconstrained)")
 	algorithm := flag.String("algorithm", "dynamic", "manager: dynamic, centralized, fixed, broadcast, basic")
+	coherence := cli.CoherenceFlag()
 	loss := flag.Float64("loss", 0, "packet loss probability (exercises retransmission)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	sysmode := flag.Bool("sysmode", false, "use the projected system-mode cost model (paper's conclusion)")
@@ -47,11 +48,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ivyrun: %v\n", err)
 		os.Exit(2)
 	}
+	coh, err := cli.ParseCoherence(*coherence)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivyrun: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := ivy.Config{
 		Processors:      *procs,
 		PageSize:        *pageSize,
 		MemoryPages:     *memPages,
 		Algorithm:       alg,
+		Coherence:       coh,
 		LossProbability: *loss,
 		Seed:            *seed,
 		DRace:           *drace,

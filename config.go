@@ -93,11 +93,32 @@ const (
 	TransportTCPLoopback = "tcp-loopback"
 )
 
+// Coherence modes for Config.Coherence.
+const (
+	// CoherenceSC (the default, "") is IVY's write-invalidate sequential
+	// consistency: single writer, ownership managers, invalidation on
+	// every write fault.
+	CoherenceSC = "sc"
+
+	// CoherenceRC is TreadMarks-style release consistency (see
+	// internal/rc and DESIGN.md §14): write faults copy a twin instead of
+	// invalidating readers, writes accumulate locally, and word-level
+	// diffs ship at synchronization releases. Data pages have static
+	// homes; synchronization objects live in a separate SC sync arena.
+	// Programs that are race-free (drace-clean) produce results
+	// bit-identical to SC mode.
+	CoherenceRC = "rc"
+)
+
 // Config assembles a cluster. The zero value of every field has a
 // sensible default applied by New.
 type Config struct {
 	// Processors is the cluster size (default 1, max 64).
 	Processors int
+
+	// Coherence selects the memory-consistency protocol: CoherenceSC
+	// (the default, "") or CoherenceRC. See the constants.
+	Coherence string
 
 	// Transport selects the interconnect backend: TransportSim (the
 	// default, "") or TransportTCPLoopback. See the constants.
@@ -240,6 +261,12 @@ type ChaosOpts struct {
 	// proving the sequential-consistency checker catches real bugs.
 	// Never set outside tests.
 	BreakInvalidation bool
+
+	// DropWriteNotice makes every release-consistency release commit its
+	// diffs but drop the write notices — acquirers keep trusting stale
+	// cached copies, the RC analogue of BreakInvalidation. Only
+	// meaningful with Coherence CoherenceRC. Never set outside tests.
+	DropWriteNotice bool
 }
 
 // withDefaults fills unset fields.
@@ -269,6 +296,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Horizon == 0 {
 		cfg.Horizon = 1000 * time.Hour
+	}
+	if cfg.Coherence == "" {
+		cfg.Coherence = CoherenceSC
 	}
 	return cfg
 }

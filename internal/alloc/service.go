@@ -53,6 +53,12 @@ type Config struct {
 	// chunks of ChunkSize obtained from the central manager.
 	TwoLevel  bool
 	ChunkSize uint64
+	// SyncBase/SyncSize delimit the sync arena: a second region, present
+	// only under release consistency, from which synchronization objects
+	// (locks, eventcounts, sequencers, stacks) are allocated so they stay
+	// on the SC protocol while data pages go release-consistent. Zero
+	// SyncSize disables the arena.
+	SyncBase, SyncSize uint64
 }
 
 // Service is one node's view of the allocation module.
@@ -64,6 +70,10 @@ type Service struct {
 
 	// heap is non-nil only on the central node.
 	heap *Heap
+	// syncHeap carves the sync arena; non-nil only on the central node of
+	// a release-consistency run. Sync allocations are rare (one block per
+	// lock/eventcount/stack) so they always go central — no two-level.
+	syncHeap *Heap
 	// local is the node's two-level allocator (nil when disabled).
 	local *Heap
 	chunk uint64
@@ -84,6 +94,9 @@ func New(ep *remop.Endpoint, cfg Config) *Service {
 	}
 	if s.node == cfg.Central {
 		s.heap = NewHeap(cfg.Base, cfg.Size, cfg.PageSize)
+		if cfg.SyncSize > 0 {
+			s.syncHeap = NewHeap(cfg.SyncBase, cfg.SyncSize, cfg.PageSize)
+		}
 	}
 	if cfg.TwoLevel {
 		if cfg.ChunkSize == 0 {
@@ -123,6 +136,34 @@ func (s *Service) Alloc(f *sim.Fiber, n uint64) (uint64, error) {
 		return addr, nil
 	}
 	return s.centralAlloc(f, n)
+}
+
+// AllocSync obtains n bytes from the sync arena. Only meaningful on
+// release-consistency runs; panics when the run has no sync arena.
+func (s *Service) AllocSync(f *sim.Fiber, n uint64) (uint64, error) {
+	s.mu.lock(f)
+	defer s.mu.unlock()
+	if s.node == s.central {
+		if s.syncHeap == nil {
+			panic("alloc: sync allocation without a sync arena (Coherence \"sc\"?)")
+		}
+		s.CentralOps++
+		addr, ok := s.syncHeap.Alloc(n)
+		if !ok {
+			return 0, ErrOutOfMemory
+		}
+		return addr, nil
+	}
+	s.RemoteCalls++
+	reply, err := s.ep.Call(f, s.central, &wire.AllocReq{Size: n, Sync: true})
+	if err != nil {
+		return 0, err
+	}
+	r := reply.(*wire.AllocReply)
+	if !r.OK {
+		return 0, ErrOutOfMemory
+	}
+	return r.Addr, nil
 }
 
 // roundChunk mirrors the central heap's page rounding so the local heap
@@ -176,7 +217,7 @@ func (s *Service) Free(f *sim.Fiber, addr uint64) error {
 	}
 	if s.heap != nil {
 		s.CentralOps++
-		if !s.heap.Free(addr) {
+		if !s.heap.Free(addr) && !(s.syncHeap != nil && s.syncHeap.Free(addr)) {
 			return fmt.Errorf("alloc: free of unallocated address %#x", addr)
 		}
 		return nil
@@ -199,7 +240,14 @@ func (s *Service) handleAlloc(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 	}
 	m := env.Body.(*wire.AllocReq)
 	s.CentralOps++
-	addr, ok := s.heap.Alloc(m.Size)
+	h := s.heap
+	if m.Sync {
+		if s.syncHeap == nil {
+			panic(fmt.Sprintf("alloc: node %d received a sync AllocReq but has no sync arena", s.node))
+		}
+		h = s.syncHeap
+	}
+	addr, ok := h.Alloc(m.Size)
 	return &wire.AllocReply{Addr: addr, OK: ok}
 }
 
@@ -210,5 +258,9 @@ func (s *Service) handleFree(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 	}
 	m := env.Body.(*wire.FreeReq)
 	s.CentralOps++
-	return &wire.FreeReply{OK: s.heap.Free(m.Addr)}
+	ok := s.heap.Free(m.Addr)
+	if !ok && s.syncHeap != nil {
+		ok = s.syncHeap.Free(m.Addr)
+	}
+	return &wire.FreeReply{OK: ok}
 }

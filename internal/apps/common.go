@@ -116,6 +116,9 @@ type Result struct {
 	// Metrics is the page-heat/false-sharing profile, nil unless the
 	// run's Config.Profile was set.
 	Metrics *ivy.MetricsSnapshot
+	// RC holds the per-node release-consistency protocol counters, nil
+	// under Coherence "sc".
+	RC []ivy.RCNodeStats
 }
 
 // splitRange partitions [0,n) into parts pieces; piece i is [lo,hi).

@@ -99,5 +99,6 @@ func RunDotProd(cfg ivy.Config, par DotProdParams) (Result, error) {
 		Check:      check,
 		Digest:     cluster.DigestRegion(digBase, digSize),
 		Metrics:    cluster.MetricsSnapshot(),
+		RC:         cluster.RCStats(),
 	}, nil
 }

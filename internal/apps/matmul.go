@@ -138,5 +138,6 @@ func RunMatmul(cfg ivy.Config, par MatmulParams) (Result, error) {
 		Check:      check,
 		Digest:     cluster.DigestRegion(digBase, digSize),
 		Metrics:    cluster.MetricsSnapshot(),
+		RC:         cluster.RCStats(),
 	}, nil
 }

@@ -162,5 +162,6 @@ func RunPDE3D(cfg ivy.Config, par PDE3DParams) (Result, error) {
 		Check:      check,
 		Digest:     cluster.DigestRegion(digBase, digSize),
 		Metrics:    cluster.MetricsSnapshot(),
+		RC:         cluster.RCStats(),
 	}, nil
 }

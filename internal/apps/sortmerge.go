@@ -163,6 +163,7 @@ func RunSortMerge(cfg ivy.Config, par SortParams) (Result, error) {
 		Check:      check,
 		Digest:     cluster.DigestRegion(digBase, digSize),
 		Metrics:    cluster.MetricsSnapshot(),
+		RC:         cluster.RCStats(),
 	}, nil
 }
 

@@ -140,6 +140,7 @@ func RunTSP(cfg ivy.Config, par TSPParams) (Result, error) {
 		Check:      check,
 		Digest:     cluster.DigestRegion(digBase, digSize),
 		Metrics:    cluster.MetricsSnapshot(),
+		RC:         cluster.RCStats(),
 	}, nil
 }
 

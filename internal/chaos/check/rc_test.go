@@ -1,0 +1,150 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	ivy "repro"
+)
+
+// rcChaosOpts is the hostile schedule for RC runs: duplication, delay
+// jitter, independent and burst loss. No crash schedule — node
+// crash/rejoin recovery is an SC-manager protocol; RC home state does
+// not survive a crash and that is a different experiment.
+func rcChaosOpts() *ivy.ChaosOpts {
+	return &ivy.ChaosOpts{
+		DuplicateProbability: 0.05,
+		DuplicateDelay:       2 * time.Millisecond,
+		DelayProbability:     0.05,
+		MaxDelay:             2 * time.Millisecond,
+		LossProbability:      0.05,
+		BurstProbability:     0.01,
+		BurstLength:          4,
+	}
+}
+
+// TestRCCleanUnderChaos is the RC acceptance run: three seeds under
+// duplication + reordering + loss, and every post-barrier read must
+// still see the current round's value.
+func TestRCCleanUnderChaos(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		res := RunRC(RCConfig{Seed: seed, Chaos: rcChaosOpts()})
+		if res.RunErr != nil {
+			t.Fatalf("seed %d: run failed: %v", seed, res.RunErr)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: RC violation: %s", seed, v)
+		}
+		for _, e := range res.CoherenceErrs {
+			t.Errorf("seed %d: coherence: %s", seed, e)
+		}
+		if cs := res.ChaosStats; cs.Drops+cs.BurstDrops == 0 || cs.Dups == 0 || cs.Delays == 0 {
+			t.Errorf("seed %d: fault plane too quiet to mean anything: %+v", seed, cs)
+		}
+	}
+}
+
+// TestRCReplayBitIdentical pins determinism of the RC plane under
+// faults: same seed, same fault schedule, same recorded execution.
+func TestRCReplayBitIdentical(t *testing.T) {
+	cfg := RCConfig{Seed: 7, Chaos: rcChaosOpts()}
+	a := RunRC(cfg)
+	b := RunRC(cfg)
+	if a.RunErr != nil || b.RunErr != nil {
+		t.Fatalf("runs failed: %v / %v", a.RunErr, b.RunErr)
+	}
+	if a.ChaosDigest != b.ChaosDigest || a.HistoryDigest != b.HistoryDigest || a.Elapsed != b.Elapsed {
+		t.Errorf("replays diverged: chaos %#x/%#x history %#x/%#x elapsed %v/%v",
+			a.ChaosDigest, b.ChaosDigest, a.HistoryDigest, b.HistoryDigest, a.Elapsed, b.Elapsed)
+	}
+	if a.Events == 0 {
+		t.Error("no events recorded")
+	}
+}
+
+// TestRCHealthyRunClean sanity-checks the harness: no fault plane, no
+// violations, nothing injected.
+func TestRCHealthyRunClean(t *testing.T) {
+	res := RunRC(RCConfig{Seed: 1})
+	if res.Failing() {
+		t.Fatalf("healthy run failed: %v; first violation: %v", res, append(res.Violations, "")[0])
+	}
+	if res.ChaosDigest != 0 {
+		t.Errorf("healthy run has a chaos digest: %#x", res.ChaosDigest)
+	}
+}
+
+// TestDroppedWriteNoticeCaughtAndShrunk plants the RC bug: releases
+// commit their diffs but never post the write notices, so acquirers
+// keep stale copies. The checker must catch the stale reads and name
+// the round actually seen; ShrinkRC must reduce the reproducer to a
+// failure that no longer needs the fault schedule at all.
+func TestDroppedWriteNoticeCaughtAndShrunk(t *testing.T) {
+	co := rcChaosOpts()
+	co.DropWriteNotice = true
+	cfg := RCConfig{Seed: 5, Chaos: co}
+	res := RunRC(cfg)
+	if !res.Failing() {
+		t.Fatalf("dropped write notice not caught: %v", res)
+	}
+	staleSeen := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "write notice lost") {
+			staleSeen = true
+			break
+		}
+	}
+	if !staleSeen {
+		t.Fatalf("no violation decoded as a stale round; first: %v", append(res.Violations, "")[0])
+	}
+
+	shrunk, sres := ShrinkRC(cfg)
+	if !sres.Failing() {
+		t.Fatalf("shrunk configuration does not fail: %v", sres)
+	}
+	if shrunk.Seed > cfg.Seed {
+		t.Errorf("shrink increased the seed: %d -> %d", cfg.Seed, shrunk.Seed)
+	}
+	// The planted bug needs no injected faults; the shrinker must
+	// discover that, and a minimal workload with it.
+	if sres.ChaosStats.Spent != 0 {
+		t.Errorf("shrunk run still injected %d faults", sres.ChaosStats.Spent)
+	}
+	if shrunk.Rounds > 2 {
+		t.Errorf("shrink kept %d rounds; the bug fires by round 2", shrunk.Rounds)
+	}
+	t.Logf("shrunk: seed=%d rounds=%d pages=%d workers=%d budget=%d -> %v",
+		shrunk.Seed, shrunk.Rounds, shrunk.Pages, shrunk.Workers, shrunk.Chaos.MaxFaults, sres)
+}
+
+// TestCheckRCHistoryLitmus unit-tests the RC checker's own logic on
+// hand-written histories.
+func TestCheckRCHistoryLitmus(t *testing.T) {
+	cfg := RCConfig{Workers: 2, Rounds: 1, Pages: 1}
+	rd := func(seq, round, reader, owner, page int, val uint64) RCEvent {
+		return RCEvent{Seq: seq, Round: round, Reader: reader, Owner: owner, Page: page, Val: val}
+	}
+	clean := []RCEvent{
+		rd(0, 1, 0, 1, 0, encodeRC(1, 1, 0)),
+		rd(1, 1, 1, 0, 0, encodeRC(0, 1, 0)),
+	}
+	if got := CheckRCHistory(clean, cfg); len(got) != 0 {
+		t.Errorf("clean history flagged: %q", got)
+	}
+	stale := []RCEvent{
+		rd(0, 1, 0, 1, 0, encodeRC(1, 1, 0)),
+		rd(1, 2, 0, 1, 0, encodeRC(1, 1, 0)), // round-2 read saw round-1 value
+	}
+	got := CheckRCHistory(stale, RCConfig{Workers: 2, Rounds: 1, Pages: 1})
+	if len(got) == 0 || !strings.Contains(got[0], "write notice lost") {
+		t.Errorf("stale round not flagged as a lost notice: %q", got)
+	}
+	garbage := []RCEvent{rd(0, 1, 0, 1, 0, 0xDEAD)}
+	if got := CheckRCHistory(garbage, RCConfig{Workers: 2, Rounds: 1, Pages: 1}); len(got) == 0 {
+		t.Error("garbage value not flagged")
+	}
+	if got := CheckRCHistory(clean[:1], cfg); len(got) == 0 {
+		t.Error("incomplete history not flagged")
+	}
+}

@@ -72,6 +72,15 @@ var kindClass = map[wire.Kind]Class{
 	wire.KindOwnerQuery:     ClassRequest,
 	wire.KindCrashNotice:    ClassNotice,
 	wire.KindRejoinNotice:   ClassNotice,
+
+	wire.KindRCFetchReq:          ClassRequest,
+	wire.KindRCFetchReply:        ClassReply,
+	wire.KindRCDiffWriteReq:      ClassRequest,
+	wire.KindRCDiffWriteReply:    ClassReply,
+	wire.KindRCNoticePostReq:     ClassRequest,
+	wire.KindRCNoticePostReply:   ClassReply,
+	wire.KindRCAcquireQueryReq:   ClassRequest,
+	wire.KindRCAcquireQueryReply: ClassReply,
 }
 
 // KindClass returns k's traffic class, ClassUnknown for kinds outside

@@ -74,6 +74,23 @@ func ParseManager(name string) (ivy.Algorithm, error) {
 	}
 }
 
+// CoherenceFlag installs -coherence on the default flag set. The
+// returned string goes into Config.Coherence after ParseCoherence.
+func CoherenceFlag() *string {
+	return flag.String("coherence", "sc",
+		"coherence mode: sc (write-invalidate, the paper's protocol) or rc (release consistency: twins, word diffs, write notices)")
+}
+
+// ParseCoherence validates a -coherence value. Valid names: sc, rc.
+func ParseCoherence(name string) (string, error) {
+	switch name {
+	case ivy.CoherenceSC, ivy.CoherenceRC:
+		return name, nil
+	default:
+		return "", fmt.Errorf("unknown coherence mode %q (want sc or rc)", name)
+	}
+}
+
 // Enabled reports whether any tracing option was set.
 func (t *TraceFlags) Enabled() bool { return t.Out != "" || t.Sample > 0 }
 

@@ -35,6 +35,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mmu"
 	"repro/internal/model"
+	"repro/internal/rc"
 	"repro/internal/remop"
 	"repro/internal/ring"
 	"repro/internal/sim"
@@ -250,6 +251,13 @@ type SVM struct {
 	// deliberately broken protocol the sequential-consistency checker
 	// must catch. Never set outside tests.
 	invalDrop func(mmu.PageID) bool
+
+	// rcn is the node's release-consistency protocol state, nil (the
+	// default) under sequential consistency. Same discipline as rd and
+	// prof: every touch point guards on it, so the SC cost is one branch
+	// in the fault slow path and the sync primitives — the hot-path
+	// accessors never consult it.
+	rcn *rc.Node
 }
 
 // New builds and wires a node's SVM, installing its request handlers on
@@ -436,9 +444,14 @@ func (s *SVM) install(f *sim.Fiber, p mmu.PageID, data []byte) {
 	}
 }
 
-// canEvict pins pages whose fault lock is held: a frame mid-transfer
-// must not be reclaimed under the protocol.
-func (s *SVM) canEvict(p mmu.PageID) bool { return !s.table.Locked(p) }
+// canEvict pins pages whose fault lock is held — a frame mid-transfer
+// must not be reclaimed under the protocol — and, under release
+// consistency, pages holding unreleased writes: the twin diff needs the
+// dirty frame, and evicting it would silently lose the writes (RC data
+// pages are never owned, so onEvict would not page them to disk).
+func (s *SVM) canEvict(p mmu.PageID) bool {
+	return !s.table.Locked(p) && (s.rcn == nil || !s.rcn.Twinned(p))
+}
 
 // SetInvalDropHook installs the chaos-test-only broken-invalidation
 // hook; see the invalDrop field. Passing nil restores correct behavior.
@@ -446,3 +459,87 @@ func (s *SVM) SetInvalDropHook(fn func(mmu.PageID) bool) { s.invalDrop = fn }
 
 // Costs returns the node's cost model.
 func (s *SVM) Costs() model.Costs { return s.costs }
+
+// ArmRC switches pages [0, dataPages) of this node's shared space to the
+// release-consistency protocol (internal/rc), leaving the pages above —
+// the sync arena holding locks, eventcounts, sequencers, and stacks — on
+// the SC protocol. dir names the node keeping the write-notice
+// directory. Must be called on every node before any process touches
+// shared memory.
+//
+// NewTable starts every page owned-and-writable on the default owner;
+// RC data pages have homes instead of owners, so that seed state is
+// erased here: no owner, no access, no copyset, ProbOwner pointed at
+// the home purely for diagnostics.
+func (s *SVM) ArmRC(dataPages int, dir ring.NodeID) {
+	if s.rcn != nil {
+		panic("core: ArmRC called twice")
+	}
+	if dataPages <= 0 || dataPages > s.numPages {
+		panic(fmt.Sprintf("core: %d RC data pages out of range (space has %d)", dataPages, s.numPages))
+	}
+	s.rcn = rc.New(s.ep, s.cpu, s.table, &s.pool, s.tlbShoot, rc.Config{
+		DataPages: dataPages,
+		PageSize:  s.pageSize,
+		Dir:       dir,
+		Costs:     s.costs,
+	})
+	for p := mmu.PageID(0); int(p) < dataPages; p++ {
+		e := s.table.Entry(p)
+		e.IsOwner = false
+		e.Access = mmu.AccessNil
+		e.Copyset = 0
+		e.Dirty = false
+		e.ProbOwner = s.rcn.Home(p)
+	}
+	s.tlbShoot()
+}
+
+// RC returns the node's release-consistency state, nil under SC.
+func (s *SVM) RC() *rc.Node { return s.rcn }
+
+// RCRelease publishes ctx's buffered writes at a synchronization
+// release. A no-op under SC or with nothing twinned.
+func (s *SVM) RCRelease(ctx Ctx) {
+	if s.rcn == nil {
+		return
+	}
+	ctx.Flush()
+	s.rcn.Release(ctx.Fiber())
+}
+
+// RCAcquire self-invalidates stale cached pages at a synchronization
+// acquire. A no-op under SC.
+func (s *SVM) RCAcquire(ctx Ctx) {
+	if s.rcn == nil {
+		return
+	}
+	ctx.Flush()
+	s.rcn.Acquire(ctx.Fiber())
+}
+
+// RCReleaseFiber is RCRelease for request handlers and other bare-fiber
+// callers that have no charging context.
+func (s *SVM) RCReleaseFiber(f *sim.Fiber) {
+	if s.rcn == nil {
+		return
+	}
+	s.rcn.Release(f)
+}
+
+// RCAcquireFiber is RCAcquire for bare-fiber callers.
+func (s *SVM) RCAcquireFiber(f *sim.Fiber) {
+	if s.rcn == nil {
+		return
+	}
+	s.rcn.Acquire(f)
+}
+
+// SetRCNoticeDropHook installs the chaos-test-only dropped-write-notice
+// bug on the RC plane; panics when RC is not armed.
+func (s *SVM) SetRCNoticeDropHook(fn func() bool) {
+	if s.rcn == nil {
+		panic("core: SetRCNoticeDropHook without ArmRC")
+	}
+	s.rcn.SetNoticeDropHook(fn)
+}

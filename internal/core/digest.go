@@ -60,8 +60,18 @@ func DigestRegion(svms []*SVM, base, size uint64) uint64 {
 
 // pagePeek returns page p's authoritative bytes without charging
 // anything: the owner's resident frame, else the owner's disk image,
-// else nil (the page still reads as zeros everywhere).
+// else nil (the page still reads as zeros everywhere). Under release
+// consistency a data page's authority is its home's master copy — at
+// quiescence every release has committed, so the master is final memory.
 func pagePeek(svms []*SVM, p mmu.PageID) []byte {
+	if rcn := svms[0].RC(); rcn != nil && rcn.IsData(p) {
+		for _, svm := range svms {
+			if m, ok := svm.RC().MasterPeek(p); ok {
+				return m // nil master reads as zeros, like unmaterialized pages
+			}
+		}
+		return nil
+	}
 	for _, svm := range svms {
 		if !svm.Table().Entry(p).IsOwner {
 			continue

@@ -538,6 +538,11 @@ func (s *SVM) WriteU8(ctx Ctx, addr uint64, v uint8) {
 // test-and-set instruction" of the paper's eventcount implementation.
 func (s *SVM) TestAndSet(ctx Ctx, addr uint64) bool {
 	p, po := s.scalarSpan(addr, 1)
+	if s.rcn != nil && s.rcn.IsData(p) {
+		// TAS atomicity relies on the single-writer SC protocol; on an RC
+		// data page two nodes could both "win" on their local copies.
+		panic(fmt.Sprintf("core: TestAndSet at %#x on a release-consistent data page — locks must live in the sync arena", addr))
+	}
 	// Charge before taking the frame: a charge can flush a compute
 	// quantum (yielding the engine), and the page must not be stolen
 	// between the access check and the read-modify-write.
@@ -551,12 +556,62 @@ func (s *SVM) TestAndSet(ctx Ctx, addr uint64) bool {
 	// A successful test-and-set is a lock acquire: order this process
 	// after every release (Clear) of the same lock so far.
 	s.RaceAcquire(ctx, addr)
+	// Under release consistency the lock acquire is also the point where
+	// this node must stop trusting cached copies that released writes
+	// have made stale.
+	s.RCAcquire(ctx)
 	return true
+}
+
+// TestAndSetLatch is TestAndSet minus the release-consistency acquire:
+// for internal latches (the eventcount's lock byte) whose critical
+// sections touch only sync-arena state. The RC obligations of the
+// OPERATION the latch implements are carried by explicit RCAcquire /
+// RCRelease calls at the operation's semantic points (ec.Read, ec.Wait,
+// ec.Advance); paying a directory round-trip per latch probe on top of
+// that only stretches the hold window and multiplies sync-page
+// ping-pong under contention. The happens-before edge (drace) is NOT
+// skipped — the latch still orders its critical sections.
+func (s *SVM) TestAndSetLatch(ctx Ctx, addr uint64) bool {
+	p, po := s.scalarSpan(addr, 1)
+	if s.rcn != nil && s.rcn.IsData(p) {
+		panic(fmt.Sprintf("core: TestAndSetLatch at %#x on a release-consistent data page — locks must live in the sync arena", addr))
+	}
+	ctx.Charge(s.costs.TestAndSet)
+	frame := s.frameForWrite(ctx, p)
+	if frame[po] != 0 {
+		return false
+	}
+	frame[po] = 1
+	s.profWrite(addr, 1)
+	s.RaceAcquire(ctx, addr)
+	return true
+}
+
+// ClearLatch is Clear minus the release-consistency release; see
+// TestAndSetLatch for when that is sound.
+func (s *SVM) ClearLatch(ctx Ctx, addr uint64) {
+	p, po := s.scalarSpan(addr, 1)
+	if s.rcn != nil && s.rcn.IsData(p) {
+		panic(fmt.Sprintf("core: ClearLatch at %#x on a release-consistent data page — locks must live in the sync arena", addr))
+	}
+	ctx.Charge(s.costs.TestAndSet)
+	frame := s.frameForWrite(ctx, p)
+	frame[po] = 0
+	s.profWrite(addr, 1)
+	s.RaceRelease(ctx, addr)
 }
 
 // Clear atomically resets the byte at addr to 0 (lock release).
 func (s *SVM) Clear(ctx Ctx, addr uint64) {
 	p, po := s.scalarSpan(addr, 1)
+	if s.rcn != nil && s.rcn.IsData(p) {
+		panic(fmt.Sprintf("core: Clear at %#x on a release-consistent data page — locks must live in the sync arena", addr))
+	}
+	// Under release consistency the buffered writes must be committed and
+	// their notices posted BEFORE the cleared byte becomes visible: a
+	// competing TestAndSet can win the instant the 0 lands.
+	s.RCRelease(ctx)
 	ctx.Charge(s.costs.TestAndSet) // before the frame, as in TestAndSet
 	frame := s.frameForWrite(ctx, p)
 	frame[po] = 0
@@ -661,6 +716,12 @@ func (s *SVM) slowPath(ctx Ctx, p mmu.PageID, write bool) []byte {
 			}
 		}
 		switch {
+		case s.rcn != nil && s.rcn.IsData(p):
+			// Release-consistent data page: no owners, no invalidation —
+			// fetch from the home and, for writes, twin (internal/rc). RC
+			// pages never carry IsOwner, so none of the SC arms below can
+			// fire for them.
+			s.rcn.Fault(f, p, write)
 		case e.IsOwner && !s.pool.Resident(p):
 			s.diskFault(ctx, p)
 		case e.IsOwner && write:

@@ -24,8 +24,34 @@ func VerifyCoherence(svms []*SVM) []error {
 	}
 	var errs []error
 	numPages := svms[0].NumPages()
+	rcPages := 0
+	if rcn := svms[0].RC(); rcn != nil {
+		rcPages = rcn.DataPages()
+	}
 	for p := 0; p < numPages; p++ {
 		page := mmu.PageID(p)
+		if p < rcPages {
+			// Release-consistent data page: the SC invariants do not apply
+			// (homes instead of owners). At quiescence no node may own it,
+			// hold an unreleased twin, or keep write access (Release
+			// downgrades to read).
+			for i, s := range svms {
+				e := s.Table().Entry(page)
+				if e.IsOwner {
+					errs = append(errs, fmt.Errorf("page %d: node %d owns a release-consistent page", p, i))
+				}
+				if e.Access == mmu.AccessWrite {
+					errs = append(errs, fmt.Errorf("page %d: node %d holds write access to an RC page at quiescence", p, i))
+				}
+				if s.RC().Twinned(page) {
+					errs = append(errs, fmt.Errorf("page %d: node %d holds an unreleased twin at quiescence", p, i))
+				}
+				if s.Table().Locked(page) {
+					errs = append(errs, fmt.Errorf("page %d: fault lock still held on node %d", p, i))
+				}
+			}
+			continue
+		}
 		owner := -1
 		var readers []int
 		for i, s := range svms {

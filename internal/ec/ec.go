@@ -85,7 +85,7 @@ func (e *EC) lock(p *proc.Process) {
 	s := p.Node().SVM()
 	backoff := 200 * time.Microsecond
 	for {
-		if s.ReadU8(p, e.addr+offLock) == 0 && s.TestAndSet(p, e.addr+offLock) {
+		if s.ReadU8(p, e.addr+offLock) == 0 && s.TestAndSetLatch(p, e.addr+offLock) {
 			return
 		}
 		p.Flush()
@@ -97,7 +97,10 @@ func (e *EC) lock(p *proc.Process) {
 }
 
 func (e *EC) unlock(p *proc.Process) {
-	p.Node().SVM().Clear(p, e.addr+offLock)
+	// ClearLatch, not Clear: the eventcount's RC release/acquire points
+	// are explicit (Advance releases, Read/Wait acquire); the latch
+	// itself guards only sync-arena state.
+	p.Node().SVM().ClearLatch(p, e.addr+offLock)
 }
 
 // Read returns the eventcount's current value.
@@ -109,6 +112,9 @@ func (e *EC) Read(p *proc.Process) int64 {
 	s := p.Node().SVM()
 	v := s.ReadI64(p, e.addr+offValue)
 	s.RaceAcquire(p, e.addr+offValue)
+	// Under release consistency an observed Advance also obliges this
+	// node to drop cached data pages the advancer's release published.
+	s.RCAcquire(p)
 	return v
 }
 
@@ -120,6 +126,7 @@ func (e *EC) Wait(p *proc.Process, target int64) {
 	if s.ReadI64(p, e.addr+offValue) >= target {
 		// Advance happens-before the Wait that observes it.
 		s.RaceAcquire(p, e.addr+offValue)
+		s.RCAcquire(p)
 		return
 	}
 	for {
@@ -128,6 +135,11 @@ func (e *EC) Wait(p *proc.Process, target int64) {
 		if v >= target {
 			s.RaceAcquire(p, e.addr+offValue)
 			e.unlock(p)
+			// The RC acquire happens after the latch drops: it must
+			// complete before THIS process touches data pages again, but
+			// running its directory round-trip inside the hold window
+			// would serialize every other node's barrier entry behind it.
+			s.RCAcquire(p)
 			return
 		}
 		n := int(s.ReadU32(p, e.addr+offNWaiters))
@@ -152,6 +164,15 @@ func (e *EC) Wait(p *proc.Process, target int64) {
 // new value.
 func (e *EC) Advance(p *proc.Process) int64 {
 	s := p.Node().SVM()
+	// Under release consistency the advance is a release: buffered writes
+	// must be committed and their notices posted before the new value is
+	// stored — a waiter's lock-free fast path can observe it the instant
+	// the write lands, with no TAS between to release at. Running the
+	// release BEFORE taking the latch keeps the (multi-round-trip) diff
+	// and notice traffic out of the hold window: between here and the
+	// store the advancer touches only sync-arena state, so no new data
+	// twins can appear.
+	s.RCRelease(p)
 	e.lock(p)
 	v := s.ReadI64(p, e.addr+offValue) + 1
 	s.WriteI64(p, e.addr+offValue, v)

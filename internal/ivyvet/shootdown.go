@@ -13,7 +13,10 @@ import (
 // firing one of the protection-lowering shootdown sites. SVM.install is
 // the mandatory wrapper that shoots the TLB epoch on that replacement,
 // so every Put outside memfs itself (whose own tests exercise the pool
-// directly, below any TLB) must go through it.
+// directly, below any TLB) must go through it. The release-consistency
+// plane (internal/rc) holds the SVM's pool but not the SVM, so it
+// carries its own sanctioned wrapper, rc.Node.install, under the same
+// contract: Put and the shootdown are paired in one place.
 var ShootdownAnalyzer = &analysis.Analyzer{
 	Name: "shootdown",
 	Doc: "flag memfs.Pool.Put calls outside SVM.install; in-place frame replacement must " +
@@ -31,7 +34,7 @@ func runShootdown(pass *analysis.Pass) (interface{}, error) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			exempt := isSVMInstall(pass, fd)
+			exempt := isSanctionedInstall(pass, fd)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok {
@@ -70,9 +73,10 @@ func isPoolPut(fn *types.Func) bool {
 	return ok && named.Obj().Name() == "Pool"
 }
 
-// isSVMInstall reports whether fd is the method install on *SVM — the
-// one sanctioned Put site.
-func isSVMInstall(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+// isSanctionedInstall reports whether fd is one of the sanctioned Put
+// sites: the method install on *core.SVM, or the method install on
+// *rc.Node (the release-consistency plane's mirror of it).
+func isSanctionedInstall(pass *analysis.Pass, fd *ast.FuncDecl) bool {
 	if fd.Name.Name != "install" || fd.Recv == nil || len(fd.Recv.List) != 1 {
 		return false
 	}
@@ -90,5 +94,14 @@ func isSVMInstall(pass *analysis.Pass, fd *ast.FuncDecl) bool {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == "SVM"
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "SVM":
+		return true
+	case "Node":
+		return simWorldComponent(pass.PkgPath) == "rc"
+	}
+	return false
 }

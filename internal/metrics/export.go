@@ -40,6 +40,7 @@ type NodeProfile struct {
 type ExportData struct {
 	App       string `json:"app"`
 	Manager   string `json:"manager"`
+	Coherence string `json:"coherence,omitempty"` // "sc" or "rc"; "" reads as sc (pre-RC exports)
 	Procs     int    `json:"procs"`
 	Seed      int64  `json:"seed"`
 	PageSize  uint64 `json:"page_size"`
@@ -58,6 +59,7 @@ type ExportData struct {
 type Meta struct {
 	App       string
 	Manager   string
+	Coherence string // "" means sc
 	Procs     int
 	Seed      int64
 	PageSize  uint64
@@ -71,6 +73,7 @@ func Build(m Meta, cl stats.Cluster, prof *Snapshot) *ExportData {
 	e := &ExportData{
 		App:       m.App,
 		Manager:   m.Manager,
+		Coherence: m.Coherence,
 		Procs:     m.Procs,
 		Seed:      m.Seed,
 		PageSize:  m.PageSize,
@@ -140,8 +143,8 @@ func ReadJSON(r io.Reader) (*ExportData, error) {
 // never a map — so identical runs produce bit-identical bytes (pinned by
 // the golden test).
 func (e *ExportData) WriteProm(w io.Writer) error {
-	labels := fmt.Sprintf("app=%q,manager=%q,procs=\"%d\",seed=\"%d\"",
-		e.App, e.Manager, e.Procs, e.Seed)
+	labels := fmt.Sprintf("app=%q,manager=%q,coherence=%q,procs=\"%d\",seed=\"%d\"",
+		e.App, e.Manager, e.coherence(), e.Procs, e.Seed)
 
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 
@@ -218,6 +221,15 @@ func (e *ExportData) WriteProm(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// coherence names the export's consistency mode for display: exports
+// written before the field existed carry "" and were all sc.
+func (e *ExportData) coherence() string {
+	if e.Coherence == "" {
+		return "sc"
+	}
+	return e.Coherence
 }
 
 // TopPages returns the n most contended pages of the profile, ranked by

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -17,14 +18,22 @@ type pd struct {
 
 // densityBar renders a 10-cell ASCII bar of a dirty-density fraction:
 // '#' per filled decile, '.' for the rest, e.g. 0.34 → "###.......".
+// The fraction is clamped to [0, 1] BEFORE the integer conversion:
+// converting a non-finite float to int is platform-defined (minint on
+// amd64), so the old post-conversion clamp rendered +Inf — a saturated
+// density from a corrupt or hand-edited export — as an empty bar. NaN
+// has no meaningful density and renders empty.
 func densityBar(frac float64) string {
+	if math.IsNaN(frac) {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
 	filled := int(frac * 10)
-	if filled > 10 {
-		filled = 10
-	}
-	if filled < 0 {
-		filled = 0
-	}
 	return strings.Repeat("#", filled) + strings.Repeat(".", 10-filled)
 }
 
@@ -34,10 +43,13 @@ func densityBar(frac float64) string {
 // signal: a hot page with a near-empty bar is paying full-page transfer
 // cost for a few words).
 func (e *ExportData) WriteTopPages(w io.Writer, n int) {
-	fmt.Fprintf(w, "ivyprof: %s under %s manager, %d procs, seed %d\n",
-		e.App, e.Manager, e.Procs, e.Seed)
-	fmt.Fprintf(w, "elapsed %dus  packets %d  bytes %d\n\n",
-		e.ElapsedUS, e.Packets, e.NetBytes)
+	fmt.Fprintf(w, "ivyprof: %s under %s manager (%s), %d procs, seed %d\n",
+		e.App, e.Manager, e.coherence(), e.Procs, e.Seed)
+	fmt.Fprintf(w, "elapsed %dus  packets %d  bytes %d\n", e.ElapsedUS, e.Packets, e.NetBytes)
+	// One grep-able line per run: `grep total-traffic` across two report
+	// files is an RC-vs-SC byte comparison without JSON exports.
+	fmt.Fprintf(w, "total-traffic app=%s coherence=%s packets=%d bytes=%d\n\n",
+		e.App, e.coherence(), e.Packets, e.NetBytes)
 
 	if len(e.Kinds) > 0 {
 		fmt.Fprintf(w, "%-16s %9s %12s %8s\n", "wire kind", "packets", "bytes", "drops")
@@ -72,8 +84,9 @@ func (e *ExportData) WriteTopPages(w io.Writer, n int) {
 // o is "B"): the headline traffic numbers, per-kind deltas, and the
 // pages whose transfer counts moved the most between the runs.
 func (e *ExportData) WriteDiff(w io.Writer, o *ExportData) {
-	fmt.Fprintf(w, "ivyprof diff\n  A: %s/%s procs=%d seed=%d\n  B: %s/%s procs=%d seed=%d\n\n",
-		e.App, e.Manager, e.Procs, e.Seed, o.App, o.Manager, o.Procs, o.Seed)
+	fmt.Fprintf(w, "ivyprof diff\n  A: %s/%s/%s procs=%d seed=%d\n  B: %s/%s/%s procs=%d seed=%d\n\n",
+		e.App, e.Manager, e.coherence(), e.Procs, e.Seed,
+		o.App, o.Manager, o.coherence(), o.Procs, o.Seed)
 
 	row := func(name string, a, b uint64) {
 		fmt.Fprintf(w, "%-16s %12d %12d %+12d\n", name, a, b, int64(b)-int64(a))
@@ -83,15 +96,23 @@ func (e *ExportData) WriteDiff(w io.Writer, o *ExportData) {
 	row("bytes", e.NetBytes, o.NetBytes)
 	fmt.Fprintf(w, "%-16s %12d %12d %+12d\n", "elapsed_us",
 		e.ElapsedUS, o.ElapsedUS, o.ElapsedUS-e.ElapsedUS)
-	fmt.Fprintln(w)
+	// The headline as one grep-able line: B's traffic as a fraction of
+	// A's, so `ivyprof -diff sc.json rc.json | grep total-traffic` prints
+	// the RC win directly.
+	ratio := math.Inf(1)
+	if e.NetBytes > 0 {
+		ratio = float64(o.NetBytes) / float64(e.NetBytes)
+	}
+	fmt.Fprintf(w, "total-traffic bytes A=%d B=%d B/A=%.4f\n\n", e.NetBytes, o.NetBytes, ratio)
 
-	// Per-kind packet deltas, in kind-namespace order (both exports were
-	// built in that order, so a two-pointer merge keeps it).
-	fmt.Fprintf(w, "%-16s %12s %12s %12s  (packets)\n", "wire kind", "A", "B", "B-A")
-	byKind := map[string][2]uint64{}
+	// Per-kind packet and byte deltas, in kind-namespace order (both
+	// exports were built in that order, so a two-pointer merge keeps it).
+	fmt.Fprintf(w, "%-16s %9s %9s %10s %12s %12s %13s\n",
+		"wire kind", "pkts A", "pkts B", "pkts B-A", "bytes A", "bytes B", "bytes B-A")
+	byKind := map[string][4]uint64{} // packets A, packets B, bytes A, bytes B
 	var order []string
 	for _, k := range e.Kinds {
-		byKind[k.Kind] = [2]uint64{k.Packets, 0}
+		byKind[k.Kind] = [4]uint64{k.Packets, 0, k.Bytes, 0}
 		order = append(order, k.Kind)
 	}
 	for _, k := range o.Kinds {
@@ -99,12 +120,14 @@ func (e *ExportData) WriteDiff(w io.Writer, o *ExportData) {
 		if !ok {
 			order = append(order, k.Kind)
 		}
-		v[1] = k.Packets
+		v[1], v[3] = k.Packets, k.Bytes
 		byKind[k.Kind] = v
 	}
 	for _, name := range order {
 		v := byKind[name]
-		row(name, v[0], v[1])
+		fmt.Fprintf(w, "%-16s %9d %9d %+10d %12d %12d %+13d\n", name,
+			v[0], v[1], int64(v[1])-int64(v[0]),
+			v[2], v[3], int64(v[3])-int64(v[2]))
 	}
 
 	if e.Prof != nil && o.Prof != nil {

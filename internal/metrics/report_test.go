@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDensityBar pins the bar rendering, especially the non-finite and
+// out-of-range inputs: converting a non-finite float64 to int is
+// platform-defined (minint on amd64), so an unclamped conversion turned
+// a saturated +Inf density into an empty bar — the exact opposite of
+// what the report should show.
+func TestDensityBar(t *testing.T) {
+	cases := []struct {
+		frac float64
+		want string
+	}{
+		{0, ".........."},
+		{0.09, ".........."},
+		{0.34, "###......."},
+		{0.999, "#########."},
+		{1, "##########"},
+		{1.7, "##########"},
+		{-0.5, ".........."},
+		{math.Inf(1), "##########"},
+		{math.Inf(-1), ".........."},
+		{math.NaN(), ".........."},
+	}
+	for _, c := range cases {
+		if got := densityBar(c.frac); got != c.want {
+			t.Errorf("densityBar(%v) = %q, want %q", c.frac, got, c.want)
+		}
+		if len(densityBar(c.frac)) != 10 {
+			t.Errorf("densityBar(%v) is not 10 cells", c.frac)
+		}
+	}
+}
+
+func sampleExport(coherence string, packets, netBytes uint64, kinds []KindCount) *ExportData {
+	return &ExportData{
+		App: "jacobi", Manager: "dynamic", Coherence: coherence,
+		Procs: 8, Seed: 1, PageSize: 4096, ElapsedUS: 1000,
+		Packets: packets, NetBytes: netBytes, Kinds: kinds,
+	}
+}
+
+// TestReportTotalTrafficLine pins the grep contract: every report carries
+// exactly one total-traffic line naming the app, mode, and byte total.
+func TestReportTotalTrafficLine(t *testing.T) {
+	e := sampleExport("rc", 42, 9000, nil)
+	var buf bytes.Buffer
+	e.WriteTopPages(&buf, 10)
+	const want = "total-traffic app=jacobi coherence=rc packets=42 bytes=9000\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("report missing %q:\n%s", want, buf.String())
+	}
+	if strings.Count(buf.String(), "total-traffic") != 1 {
+		t.Errorf("want exactly one total-traffic line:\n%s", buf.String())
+	}
+}
+
+// TestDiffTotalTrafficRatio pins the one-command A-B comparison: the
+// diff's total-traffic line reports B's bytes as a fraction of A's.
+func TestDiffTotalTrafficRatio(t *testing.T) {
+	sc := sampleExport("sc", 100, 10000, nil)
+	rc := sampleExport("rc", 40, 6100, nil)
+	var buf bytes.Buffer
+	sc.WriteDiff(&buf, rc)
+	const want = "total-traffic bytes A=10000 B=6100 B/A=0.6100\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("diff missing %q:\n%s", want, buf.String())
+	}
+	// A pre-RC export (empty Coherence) reads as sc in the header.
+	if !strings.Contains(buf.String(), "A: jacobi/dynamic/sc") ||
+		!strings.Contains(buf.String(), "B: jacobi/dynamic/rc") {
+		t.Errorf("diff header does not name both coherence modes:\n%s", buf.String())
+	}
+
+	// Zero bytes on the A side must not render as a panic or NaN.
+	var empty bytes.Buffer
+	sampleExport("sc", 0, 0, nil).WriteDiff(&empty, rc)
+	if !strings.Contains(empty.String(), "B/A=+Inf") {
+		t.Errorf("zero-byte A side should print an infinite ratio:\n%s", empty.String())
+	}
+}
+
+// TestDiffKindTableCarriesBytes pins the bytes-by-kind diff section:
+// kinds present in either export appear once, in kind-namespace order,
+// with both packet and byte columns.
+func TestDiffKindTableCarriesBytes(t *testing.T) {
+	a := sampleExport("sc", 10, 5000, []KindCount{
+		{Kind: "PageWriteReply", Packets: 4, Bytes: 4096},
+		{Kind: "InvalidateReq", Packets: 6, Bytes: 120},
+	})
+	b := sampleExport("rc", 8, 900, []KindCount{
+		{Kind: "PageWriteReply", Packets: 1, Bytes: 1024},
+		{Kind: "RCDiffWriteReq", Packets: 7, Bytes: 700},
+	})
+	var buf bytes.Buffer
+	a.WriteDiff(&buf, b)
+	out := buf.String()
+	for _, want := range []string{
+		"bytes A", "bytes B", "bytes B-A",
+		"PageWriteReply", "InvalidateReq", "RCDiffWriteReq",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff kind table missing %q:\n%s", want, out)
+		}
+	}
+	var row string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "PageWriteReply") {
+			row = l
+			break
+		}
+	}
+	for _, col := range []string{"4", "1", "-3", "4096", "1024", "-3072"} {
+		if !strings.Contains(row, col) {
+			t.Errorf("PageWriteReply row missing %q: %q", col, row)
+		}
+	}
+}

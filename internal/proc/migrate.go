@@ -138,6 +138,11 @@ func (n *Node) MigrateOut(f *sim.Fiber, p *Process, dst ring.NodeID) bool {
 	if !n.removeReady(p) {
 		return false
 	}
+	// Handing a process to another node is a synchronization release:
+	// under release consistency the source's buffered writes — including
+	// any made by p before it went ready — must be committed before the
+	// destination can run it.
+	n.svm.RCReleaseFiber(f)
 	tr := n.collectStack(f, p, dst)
 	req := &wire.MigrateReq{
 		PCB:        encodePCB(p, false),
@@ -176,6 +181,9 @@ func (p *Process) MigrateTo(dst ring.NodeID) {
 	p.Flush()
 	n.current = nil
 	n.dispatch() // the source moves on to its next ready process
+	// Self-migration releases at the source: the process's own writes
+	// must be visible wherever it lands (see MigrateOut).
+	n.svm.RCReleaseFiber(p.fiber)
 	tr := n.collectStack(p.fiber, p, dst)
 	req := &wire.MigrateReq{
 		PCB:        encodePCB(p, true),
@@ -251,6 +259,9 @@ func (n *Node) handleMigrate(ctx *remop.Ctx, env *wire.Envelope) wire.Msg {
 	// this is a no-op here — it exists to exercise the wire mechanism the
 	// migration handoff edge rides on (see PROTOCOL.md).
 	p.race.JoinVC(m.VC)
+	// The matching acquire: the destination must drop cached data pages
+	// the source's release (in MigrateOut/MigrateTo) published.
+	n.svm.RCAcquireFiber(f)
 	old := p.node
 	if sl := old.pcbs[p.handle]; sl != nil {
 		sl.proc = nil

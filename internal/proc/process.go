@@ -209,6 +209,10 @@ func (p *Process) start() {
 func (p *Process) terminate() {
 	p.Flush()
 	n := p.node
+	// Termination is the final release: under release consistency every
+	// write the process buffered must reach its home before joiners (or
+	// the quiescent-state digest) look at memory.
+	n.svm.RCReleaseFiber(p.fiber)
 	p.state = Terminated
 	if sl := n.pcbs[p.handle]; sl != nil {
 		sl.state = Terminated

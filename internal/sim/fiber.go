@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	runtimedebug "runtime/debug"
 	"time"
 )
 
@@ -53,7 +54,10 @@ func (e *Engine) Go(name string, body func(f *Fiber)) *Fiber {
 				// dies holding nothing.
 				f.done = true
 				e.live--
-				e.panicMsg = fmt.Sprintf("sim: fiber %q panicked: %v", f.name, r)
+				// Keep the fiber's own stack: the engine re-panics from
+				// RunUntil, whose stack says nothing about where in the
+				// simulated program the fault happened.
+				e.panicMsg = fmt.Sprintf("sim: fiber %q panicked: %v\n%s", f.name, r, string(runtimedebug.Stack()))
 				e.engineResume <- struct{}{}
 				return
 			}

@@ -38,6 +38,14 @@ func seedEnvelopes() []*Envelope {
 		&OwnerQuery{Page: 4, Owner: 2},
 		&CrashNotice{Node: 2},
 		&RejoinNotice{Node: 2},
+		&RCFetchReq{Page: 17, HaveVer: 4},
+		&RCFetchReply{Page: 17, Ver: 5, Rebound: 1, Redirect: RCNoNode, Data: bytes.Repeat([]byte{0xCD}, 24)},
+		&RCDiffWriteReq{Page: 18, HaveVer: 6, Offsets: []uint32{0, 8, 4088}, Words: []uint64{1, ^uint64(0), 42}},
+		&RCDiffWriteReply{Page: 18, Ver: 7, Rebound: 1, Redirect: 3},
+		&RCNoticePostReq{Pages: []uint32{19, 20, 19}, Vers: []uint32{8, 1, 9}},
+		&RCNoticePostReply{},
+		&RCAcquireQueryReq{Since: 0xDEAD},
+		&RCAcquireQueryReply{Next: 0xBEEF, Pages: []uint32{21, 22}, Vers: []uint32{2, 3}},
 	}
 	envs := make([]*Envelope, len(bodies))
 	for i, b := range bodies {
@@ -118,6 +126,12 @@ func FuzzUnmarshal(f *testing.F) {
 	long := (&Envelope{Body: &PageReadReply{Page: 1, Data: []byte("abcdef")}}).Marshal()
 	f.Add(long[:len(long)-3])
 	f.Add(append(append([]byte{}, long...), 0xEE))
+	// Diff-frame shapes: torn mid-pair, and a pair-count bomb.
+	diff := (&Envelope{Body: &RCDiffWriteReq{Page: 1, HaveVer: 2, Offsets: []uint32{0, 8}, Words: []uint64{7, 9}}}).Marshal()
+	f.Add(diff[:len(diff)-5])
+	bomb := (&Envelope{Body: &RCDiffWriteReq{Page: 1}}).Marshal()
+	copy(bomb[len(bomb)-4:], []byte{0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add(bomb)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, err := Unmarshal(data)
@@ -185,6 +199,40 @@ func TestUnmarshalRejectsCorruptFrames(t *testing.T) {
 		bad[0] = byte(KindInvalid)
 		if _, err := Unmarshal(bad); !errors.Is(err, ErrUnknownKind) {
 			t.Errorf("kind 0: err = %v, want ErrUnknownKind", err)
+		}
+	})
+	t.Run("diff-torn-everywhere", func(t *testing.T) {
+		// A diff frame dying mid-words must be rejected at every cut, not
+		// decoded to a shorter diff (offsets and words interleave, so any
+		// tear lands inside a pair).
+		e := &Envelope{ReqID: 9, Body: &RCDiffWriteReq{
+			Page: 1, HaveVer: 2, Offsets: []uint32{0, 8}, Words: []uint64{3, 4}}}
+		frame := e.Marshal()
+		for i := 0; i < len(frame); i++ {
+			if _, err := Unmarshal(frame[:i]); err == nil {
+				t.Errorf("diff frame truncated to %d bytes accepted", i)
+			}
+		}
+	})
+	t.Run("diff-length-bomb", func(t *testing.T) {
+		// A diff claiming 2^31 entries must trip the remaining-bytes guard
+		// before any allocation. With no entries the count is the frame's
+		// final u32.
+		e := &Envelope{Body: &RCDiffWriteReq{Page: 1, HaveVer: 2}}
+		frame := e.Marshal()
+		copy(frame[len(frame)-4:], []byte{0xFF, 0xFF, 0xFF, 0x7F})
+		if _, err := Unmarshal(frame); err == nil {
+			t.Error("diff length-bomb frame accepted")
+		}
+	})
+	t.Run("notice-length-bomb", func(t *testing.T) {
+		// Same shape for the write-notice log append: the pair count is the
+		// final u32 of an empty post.
+		e := &Envelope{Body: &RCNoticePostReq{}}
+		frame := e.Marshal()
+		copy(frame[len(frame)-4:], []byte{0xFF, 0xFF, 0xFF, 0x7F})
+		if _, err := Unmarshal(frame); err == nil {
+			t.Error("notice length-bomb frame accepted")
 		}
 	})
 	t.Run("migrate-length-bomb", func(t *testing.T) {

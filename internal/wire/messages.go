@@ -306,14 +306,29 @@ func (m *NotifyReq) Decode(r *Reader) error {
 // --- Memory allocation bodies ----------------------------------------
 
 // AllocReq asks the central memory manager for a block of shared memory.
+// Sync requests the block from the sync arena — the sequentially
+// consistent region above the data pages that exists only under release
+// consistency, where eventcounts, locks, and stacks must live. It
+// travels as an optional trailing byte (like MigrateReq's VC): absent
+// under "sc", so frames stay bit-identical to earlier protocol versions.
 type AllocReq struct {
 	Size uint64
+	Sync bool
 }
 
-func (*AllocReq) Kind() Kind         { return KindAllocReq }
-func (m *AllocReq) Encode(b *Buffer) { b.PutU64(m.Size) }
+func (*AllocReq) Kind() Kind { return KindAllocReq }
+func (m *AllocReq) Encode(b *Buffer) {
+	b.PutU64(m.Size)
+	if m.Sync {
+		b.PutBool(true)
+	}
+}
 func (m *AllocReq) Decode(r *Reader) error {
 	m.Size = r.U64()
+	m.Sync = false
+	if r.Remaining() > 0 {
+		m.Sync = r.Bool()
+	}
 	return nil
 }
 
@@ -441,6 +456,238 @@ func (m *RejoinNotice) Decode(r *Reader) error {
 	return nil
 }
 
+// --- Release consistency (internal/rc) --------------------------------
+
+// RCNoNode is the "no redirect" sentinel in RC reply Redirect fields:
+// mastership of a page migrates toward its dominant writer (see
+// internal/rc), so a fetch or diff commit can land on a former home,
+// which answers with a forwarding pointer instead of data.
+const RCNoNode = ^uint32(0)
+
+// RCFetchReq asks a page's home for the current master copy. HaveVer is
+// the fetcher's committed version; the home always replies with the full
+// page today, but the field keeps the request self-describing so a
+// delta-reply optimization stays wire-compatible.
+type RCFetchReq struct {
+	Page    uint32
+	HaveVer uint32
+}
+
+func (*RCFetchReq) Kind() Kind { return KindRCFetchReq }
+func (m *RCFetchReq) Encode(b *Buffer) {
+	b.PutU32(m.Page)
+	b.PutU32(m.HaveVer)
+}
+func (m *RCFetchReq) Decode(r *Reader) error {
+	m.Page = r.U32()
+	m.HaveVer = r.U32()
+	return nil
+}
+
+// RCFetchReply delivers the home's master copy of a page at version Ver.
+// When the replier is a FORMER home (mastership migrated), Redirect
+// names its best guess at the current home and Ver/Data are meaningless;
+// Redirect is RCNoNode on an authoritative reply. Rebound set means the
+// home granted mastership of a still-virgin page (never committed to)
+// to the requester — lazy homing: the first node to touch a page makes
+// a better home guess than the static p mod N assignment, and granting
+// on the fetch means a one-shot initializer never ships its writes at
+// all. Ver is 0 and Data empty on a grant (the new master is the zero
+// page the requester installs anyway).
+type RCFetchReply struct {
+	Page     uint32
+	Ver      uint32
+	Rebound  uint8
+	Redirect uint32
+	Data     []byte
+}
+
+func (*RCFetchReply) Kind() Kind { return KindRCFetchReply }
+func (m *RCFetchReply) Encode(b *Buffer) {
+	b.PutU32(m.Page)
+	b.PutU32(m.Ver)
+	b.PutU8(m.Rebound)
+	b.PutU32(m.Redirect)
+	b.PutBytes(m.Data)
+}
+func (m *RCFetchReply) Decode(r *Reader) error {
+	m.Page = r.U32()
+	m.Ver = r.U32()
+	m.Rebound = r.U8()
+	m.Redirect = r.U32()
+	m.Data = r.Bytes()
+	return nil
+}
+
+// RCDiffWriteReq ships a releaser's word-level diffs — the 8-byte words
+// of a page that differ from its twin — to the page's home, which folds
+// them into the master copy and bumps the version. Offsets are byte
+// offsets within the page, 8-byte aligned; Words are the new values.
+// HaveVer is the version the releaser's frame was based on: when it
+// equals the master's current version the committed frame is known
+// bit-identical to the new master, which is what makes a home hand-off
+// to a dominant writer safe (see RCDiffWriteReply.Rebound).
+// This frame IS the traffic win: a release costs 12 bytes per dirty
+// word instead of a page invalidation and re-transfer per writer.
+type RCDiffWriteReq struct {
+	Page    uint32
+	HaveVer uint32
+	Offsets []uint32
+	Words   []uint64
+}
+
+func (*RCDiffWriteReq) Kind() Kind { return KindRCDiffWriteReq }
+func (m *RCDiffWriteReq) Encode(b *Buffer) {
+	b.PutU32(m.Page)
+	b.PutU32(m.HaveVer)
+	b.PutU32(uint32(len(m.Offsets)))
+	for i, off := range m.Offsets {
+		b.PutU32(off)
+		b.PutU64(m.Words[i])
+	}
+}
+func (m *RCDiffWriteReq) Decode(r *Reader) error {
+	m.Page = r.U32()
+	m.HaveVer = r.U32()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil
+	}
+	if n > r.Remaining()/12 {
+		return ErrShortBuffer
+	}
+	m.Offsets = make([]uint32, n)
+	m.Words = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		m.Offsets[i] = r.U32()
+		m.Words[i] = r.U64()
+	}
+	return nil
+}
+
+// RCDiffWriteReply acknowledges a diff commit with the master copy's new
+// version. The releaser keeps its local version current only when the
+// commit was contiguous (Ver == haveVer+1): a higher jump means another
+// node's concurrent diff committed in between, words the releaser's
+// frame does not have, so the frame must be treated as stale.
+//
+// Redirect (RCNoNode when absent) means the replier is a former home:
+// nothing was applied, resend to the named node. Rebound == 1 grants
+// mastership to the committer: its frame is bit-identical to the new
+// master (the commit was based on the current version), so it becomes
+// the page's home at Ver with zero data bytes on the wire.
+type RCDiffWriteReply struct {
+	Page     uint32
+	Ver      uint32
+	Rebound  uint8
+	Redirect uint32
+}
+
+func (*RCDiffWriteReply) Kind() Kind { return KindRCDiffWriteReply }
+func (m *RCDiffWriteReply) Encode(b *Buffer) {
+	b.PutU32(m.Page)
+	b.PutU32(m.Ver)
+	b.PutU8(m.Rebound)
+	b.PutU32(m.Redirect)
+}
+func (m *RCDiffWriteReply) Decode(r *Reader) error {
+	m.Page = r.U32()
+	m.Ver = r.U32()
+	m.Rebound = r.U8()
+	m.Redirect = r.U32()
+	return nil
+}
+
+// RCNoticePostReq appends (page, version) write notices to the
+// directory's log after a releaser committed its diffs. Acquirers learn
+// about the new versions from RCAcquireQuery.
+type RCNoticePostReq struct {
+	Pages []uint32
+	Vers  []uint32
+}
+
+func (*RCNoticePostReq) Kind() Kind { return KindRCNoticePostReq }
+func (m *RCNoticePostReq) Encode(b *Buffer) {
+	b.PutU32(uint32(len(m.Pages)))
+	for i, p := range m.Pages {
+		b.PutU32(p)
+		b.PutU32(m.Vers[i])
+	}
+}
+func (m *RCNoticePostReq) Decode(r *Reader) error {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil
+	}
+	if n > r.Remaining()/8 {
+		return ErrShortBuffer
+	}
+	m.Pages = make([]uint32, n)
+	m.Vers = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		m.Pages[i] = r.U32()
+		m.Vers[i] = r.U32()
+	}
+	return nil
+}
+
+// RCNoticePostReply confirms a notice post.
+type RCNoticePostReply struct{}
+
+func (*RCNoticePostReply) Kind() Kind           { return KindRCNoticePostReply }
+func (*RCNoticePostReply) Encode(*Buffer)       {}
+func (*RCNoticePostReply) Decode(*Reader) error { return nil }
+
+// RCAcquireQueryReq asks the directory for all write notices logged
+// since the acquirer's cursor (Since = number of log entries already
+// consumed).
+type RCAcquireQueryReq struct {
+	Since uint64
+}
+
+func (*RCAcquireQueryReq) Kind() Kind         { return KindRCAcquireQueryReq }
+func (m *RCAcquireQueryReq) Encode(b *Buffer) { b.PutU64(m.Since) }
+func (m *RCAcquireQueryReq) Decode(r *Reader) error {
+	m.Since = r.U64()
+	return nil
+}
+
+// RCAcquireQueryReply returns the directory's current log length (the
+// acquirer's next cursor) and the notices since the request's cursor,
+// deduplicated to the maximum version per page.
+type RCAcquireQueryReply struct {
+	Next  uint64
+	Pages []uint32
+	Vers  []uint32
+}
+
+func (*RCAcquireQueryReply) Kind() Kind { return KindRCAcquireQueryReply }
+func (m *RCAcquireQueryReply) Encode(b *Buffer) {
+	b.PutU64(m.Next)
+	b.PutU32(uint32(len(m.Pages)))
+	for i, p := range m.Pages {
+		b.PutU32(p)
+		b.PutU32(m.Vers[i])
+	}
+}
+func (m *RCAcquireQueryReply) Decode(r *Reader) error {
+	m.Next = r.U64()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil
+	}
+	if n > r.Remaining()/8 {
+		return ErrShortBuffer
+	}
+	m.Pages = make([]uint32, n)
+	m.Vers = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		m.Pages[i] = r.U32()
+		m.Vers[i] = r.U32()
+	}
+	return nil
+}
+
 func init() {
 	Register(KindReadFaultReq, func() Msg { return new(ReadFaultReq) })
 	Register(KindWriteFaultReq, func() Msg { return new(WriteFaultReq) })
@@ -465,4 +712,12 @@ func init() {
 	Register(KindOwnerQuery, func() Msg { return new(OwnerQuery) })
 	Register(KindCrashNotice, func() Msg { return new(CrashNotice) })
 	Register(KindRejoinNotice, func() Msg { return new(RejoinNotice) })
+	Register(KindRCFetchReq, func() Msg { return new(RCFetchReq) })
+	Register(KindRCFetchReply, func() Msg { return new(RCFetchReply) })
+	Register(KindRCDiffWriteReq, func() Msg { return new(RCDiffWriteReq) })
+	Register(KindRCDiffWriteReply, func() Msg { return new(RCDiffWriteReply) })
+	Register(KindRCNoticePostReq, func() Msg { return new(RCNoticePostReq) })
+	Register(KindRCNoticePostReply, func() Msg { return new(RCNoticePostReply) })
+	Register(KindRCAcquireQueryReq, func() Msg { return new(RCAcquireQueryReq) })
+	Register(KindRCAcquireQueryReply, func() Msg { return new(RCAcquireQueryReply) })
 }

@@ -70,6 +70,20 @@ const (
 	KindCrashNotice  // a station observed node N crash
 	KindRejoinNotice // node N announces it is back on the ring
 
+	// Release consistency (internal/rc). Under Coherence "rc" data pages
+	// have a static home keeping the master copy and a version counter;
+	// releasers push word-level diffs to the home and post write notices
+	// to the directory, acquirers query the directory and refetch stale
+	// pages from their homes.
+	KindRCFetchReq          // fetch the master copy of a page from its home
+	KindRCFetchReply        // page data + committed version
+	KindRCDiffWriteReq      // apply word-level diffs to the home's master copy
+	KindRCDiffWriteReply    // version after the diff commit
+	KindRCNoticePostReq     // post (page, version) write notices to the directory
+	KindRCNoticePostReply   // confirmation of a notice post
+	KindRCAcquireQueryReq   // ask the directory for notices since a log cursor
+	KindRCAcquireQueryReply // new cursor + deduped (page, max version) notices
+
 	kindMax
 )
 
@@ -117,6 +131,15 @@ var kindNames = map[Kind]string{
 	KindOwnerQuery:     "OwnerQuery",
 	KindCrashNotice:    "CrashNotice",
 	KindRejoinNotice:   "RejoinNotice",
+
+	KindRCFetchReq:          "RCFetchReq",
+	KindRCFetchReply:        "RCFetchReply",
+	KindRCDiffWriteReq:      "RCDiffWriteReq",
+	KindRCDiffWriteReply:    "RCDiffWriteReply",
+	KindRCNoticePostReq:     "RCNoticePostReq",
+	KindRCNoticePostReply:   "RCNoticePostReply",
+	KindRCAcquireQueryReq:   "RCAcquireQueryReq",
+	KindRCAcquireQueryReply: "RCAcquireQueryReply",
 }
 
 func (k Kind) String() string {

@@ -61,6 +61,12 @@ func NewNode(nc NodeConfig) (*Cluster, string, error) {
 	if cfg.LossProbability > 0 || cfg.Chaos != nil || cfg.Trace != nil || cfg.DRace || cfg.Profile {
 		return nil, "", fmt.Errorf("ivy: loss, chaos, tracing, drace, and profiling are simulator planes; not available in a multi-process node")
 	}
+	if cfg.Coherence == CoherenceRC {
+		// The quiescent-state digest and the cross-node master-copy view
+		// need every SVM in one process; tcp-loopback supports RC, separate
+		// OS processes do not (yet).
+		return nil, "", fmt.Errorf("ivy: release consistency requires a single-process cluster view; use the sim or tcp-loopback transport")
+	}
 	// Migration serializes a PCB, not a Go closure; it cannot leave the
 	// process. Passive balancing would try, so force it off — but keep
 	// the default Interval: the null process sleeps that long between

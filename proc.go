@@ -177,6 +177,22 @@ func (p *Proc) FreeMem(addr uint64) error {
 	return svc.Free(p.inner.Fiber(), addr)
 }
 
+// syncMalloc allocates synchronization state: from the sync arena under
+// release consistency (locks, eventcounts, sequencers, and stacks need
+// SC semantics — test-and-set atomicity, migration — that RC data pages
+// do not provide), from ordinary shared memory otherwise.
+func (p *Proc) syncMalloc(n uint64) uint64 {
+	if p.inner.Node().SVM().RC() == nil {
+		return p.MustMalloc(n)
+	}
+	svc := p.c.allocFor(p.NodeID())
+	addr, err := svc.AllocSync(p.inner.Fiber(), n)
+	if err != nil {
+		panic(fmt.Sprintf("ivy: sync-arena malloc %d bytes: %v", n, err))
+	}
+	return addr
+}
+
 // --- Eventcounts -----------------------------------------------------------
 
 // EC is an eventcount: Init/Read/Wait/Advance, implemented in shared
@@ -190,7 +206,7 @@ type EC struct {
 // NewEventcount allocates and initializes an eventcount able to hold
 // capacity simultaneous waiters.
 func (p *Proc) NewEventcount(capacity int) *EC {
-	addr := p.MustMalloc(uint64(ec.SizeFor(capacity)))
+	addr := p.syncMalloc(uint64(ec.SizeFor(capacity)))
 	return &EC{inner: ec.Init(p.inner, addr, capacity), addr: addr, cap: capacity}
 }
 
@@ -224,7 +240,7 @@ type Sequencer struct {
 
 // NewSequencer allocates and initializes a sequencer.
 func (p *Proc) NewSequencer() *Sequencer {
-	addr := p.MustMalloc(uint64(ec.SequencerSize()))
+	addr := p.syncMalloc(uint64(ec.SequencerSize()))
 	return &Sequencer{inner: ec.InitSequencer(p.inner, addr)}
 }
 
@@ -287,7 +303,7 @@ func (p *Proc) createOn(n *proc.Node, body func(q *Proc), opts ...CreateOpt) *pr
 	var stackBase uint64
 	stackPages := p.c.cfg.StackPages
 	if stackPages > 0 {
-		stackBase = p.MustMalloc(uint64(stackPages * p.c.cfg.PageSize))
+		stackBase = p.syncMalloc(uint64(stackPages * p.c.cfg.PageSize))
 	}
 	p.Compute(p.c.cfg.Costs.ProcCreate)
 	return n.Create(func(inner *proc.Process) {
@@ -337,7 +353,7 @@ type Lock struct {
 
 // NewLock allocates a shared lock.
 func (p *Proc) NewLock() *Lock {
-	addr := p.MustMalloc(1)
+	addr := p.syncMalloc(1)
 	// The lock byte is synchronization state; Acquire's plain-read probe
 	// precedes the first test-and-set (which would otherwise be what
 	// marks it), so mark it eagerly.

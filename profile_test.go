@@ -61,6 +61,7 @@ func TestProfileGoldenProm(t *testing.T) {
 	export := metrics.Build(metrics.Meta{
 		App:       "profworkload",
 		Manager:   "dynamic",
+		Coherence: "sc",
 		Procs:     4,
 		Seed:      42,
 		PageSize:  256,
